@@ -1,0 +1,410 @@
+//! Per-value life-cycle accounting: creation, death, rebirth (§II-B).
+//!
+//! The paper extends a value's life-cycle to three stages: "(i)
+//! creation, the first time a value is written, (ii) death, when a
+//! value gets invalidated, and (iii) rebirth, when a value is
+//! rewritten after its death."
+
+use std::collections::HashMap;
+
+use zssd_metrics::{Cdf, ShareCurve};
+use zssd_trace::TraceRecord;
+use zssd_types::{Lpn, ValueId};
+
+/// Life-cycle counters of one value. Time is the paper's logical
+/// write clock (number of writes issued).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ValueStats {
+    /// Host writes carrying this value.
+    pub writes: u64,
+    /// Copies of this value invalidated by overwrites (deaths).
+    pub deaths: u64,
+    /// Writes of this value that arrived while a dead copy existed
+    /// (rebirths — reusable with an infinite buffer).
+    pub rebirths: u64,
+    /// Write-clock timestamp of the creation.
+    pub created_at: u64,
+    /// Σ (death clock − creation-or-rebirth clock of that copy),
+    /// for Fig 4(a).
+    pub lifetime_sum: u64,
+    /// Number of lifetime samples in `lifetime_sum`.
+    pub lifetime_samples: u64,
+    /// Σ (rebirth clock − death clock), for Fig 4(b).
+    pub dead_time_sum: u64,
+    /// Number of dead-time samples in `dead_time_sum`.
+    pub dead_time_samples: u64,
+}
+
+impl ValueStats {
+    /// Mean number of writes between a copy's birth and its death.
+    pub fn mean_lifetime(&self) -> f64 {
+        if self.lifetime_samples == 0 {
+            0.0
+        } else {
+            self.lifetime_sum as f64 / self.lifetime_samples as f64
+        }
+    }
+
+    /// Mean number of writes a value spends dead before rebirth.
+    pub fn mean_dead_time(&self) -> f64 {
+        if self.dead_time_samples == 0 {
+            0.0
+        } else {
+            self.dead_time_sum as f64 / self.dead_time_samples as f64
+        }
+    }
+}
+
+/// One popularity band of Fig 4: values bucketed by
+/// `floor(log2(writes))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopularityBin {
+    /// Band index (0 = written once, 1 = 2–3 writes, 2 = 4–7, …).
+    pub degree: u32,
+    /// Inclusive range of write counts in this band.
+    pub write_range: (u64, u64),
+    /// Number of values in the band.
+    pub values: u64,
+    /// Band average of the plotted quantity.
+    pub mean: f64,
+}
+
+/// The §II analysis over one trace (or trace prefix).
+///
+/// # Examples
+///
+/// ```
+/// use zssd_analysis::ValueLifecycles;
+/// use zssd_trace::TraceRecord;
+/// use zssd_types::{Lpn, ValueId};
+///
+/// // Value 7 is created, dies, and is reborn.
+/// let records = [
+///     TraceRecord::write(0, Lpn::new(0), ValueId::new(7)),
+///     TraceRecord::write(1, Lpn::new(0), ValueId::new(8)), // kills 7
+///     TraceRecord::write(2, Lpn::new(1), ValueId::new(7)), // rebirth
+/// ];
+/// let lc = ValueLifecycles::analyze(&records);
+/// let stats = lc.value(ValueId::new(7)).expect("tracked");
+/// assert_eq!((stats.writes, stats.deaths, stats.rebirths), (2, 1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ValueLifecycles {
+    values: HashMap<ValueId, ValueStats>,
+    /// Dead-copy pool per value (conceptual, unlimited): death clocks.
+    total_writes: u64,
+}
+
+/// Internal per-value dynamic state during the scan.
+#[derive(Debug, Default)]
+struct Scan {
+    /// Birth clock of each live copy, keyed by address.
+    live_copy_birth: HashMap<Lpn, u64>,
+    /// Death clocks of currently dead copies (LIFO reuse).
+    dead_copies: Vec<u64>,
+}
+
+impl ValueLifecycles {
+    /// Scans a trace and accumulates per-value life-cycle statistics.
+    ///
+    /// Only writes matter (the paper tracks value popularity in writes
+    /// only, footnote 3); reads are ignored.
+    pub fn analyze(records: &[TraceRecord]) -> Self {
+        let mut values: HashMap<ValueId, ValueStats> = HashMap::new();
+        let mut scans: HashMap<ValueId, Scan> = HashMap::new();
+        let mut content: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut clock = 0u64;
+        for record in records.iter().filter(|r| r.is_write()) {
+            clock += 1;
+
+            // 1. Resolve the rebirth against the pool state *before*
+            //    this write's own death is processed (the §IV-C order:
+            //    the dead-value lookup happens first, then the update
+            //    invalidates the old page). Matters only when a value
+            //    overwrites itself.
+            let reborn_from = scans.entry(record.value).or_default().dead_copies.pop();
+
+            // 2. The overwritten copy (if any) dies.
+            if let Some(old) = content.insert(record.lpn, record.value) {
+                let scan = scans.entry(old).or_default();
+                let stats = values.entry(old).or_default();
+                stats.deaths += 1;
+                if let Some(birth) = scan.live_copy_birth.remove(&record.lpn) {
+                    stats.lifetime_sum += clock - birth;
+                    stats.lifetime_samples += 1;
+                }
+                scan.dead_copies.push(clock);
+            }
+
+            // 3. The write itself: creation or rebirth bookkeeping.
+            let scan = scans.entry(record.value).or_default();
+            let stats = values.entry(record.value).or_default();
+            if stats.writes == 0 {
+                stats.created_at = clock;
+            }
+            stats.writes += 1;
+            if let Some(death_clock) = reborn_from {
+                stats.rebirths += 1;
+                stats.dead_time_sum += clock - death_clock;
+                stats.dead_time_samples += 1;
+            }
+            scan.live_copy_birth.insert(record.lpn, clock);
+        }
+        ValueLifecycles {
+            values,
+            total_writes: clock,
+        }
+    }
+
+    /// Statistics of one value, if it was ever written.
+    pub fn value(&self, value: ValueId) -> Option<&ValueStats> {
+        self.values.get(&value)
+    }
+
+    /// Number of distinct values written.
+    pub fn unique_values(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Total writes scanned.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Total deaths across all values.
+    pub fn total_deaths(&self) -> u64 {
+        self.values.values().map(|s| s.deaths).sum()
+    }
+
+    /// Total rebirths across all values. Equals the reusable-write
+    /// count of [`infinite_reuse`](crate::infinite_reuse) by
+    /// construction (a rebirth is a write arriving while a dead copy
+    /// exists).
+    pub fn total_rebirths(&self) -> u64 {
+        self.values.values().map(|s| s.rebirths).sum()
+    }
+
+    /// Fraction of values that were invalidated at least once — the
+    /// Fig 2 observation ("only 30% of values … are still present
+    /// (live) … and the rest have been invalidated" for mail).
+    pub fn fraction_with_deaths(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let died = self.values.values().filter(|s| s.deaths > 0).count();
+        died as f64 / self.values.len() as f64
+    }
+
+    /// Fig 2: CDF of per-value invalidation counts.
+    pub fn invalidation_cdf(&self) -> Cdf {
+        self.values.values().map(|s| s.deaths).collect()
+    }
+
+    /// Fig 3(a): cumulative share of writes over values sorted by
+    /// write count.
+    pub fn writes_share(&self) -> ShareCurve {
+        ShareCurve::from_weights(self.values.values().map(|s| s.writes))
+    }
+
+    /// Fig 3(b): cumulative share of invalidations, values sorted by
+    /// *write* count (the paper keeps the x-axis ordering of 3(a)).
+    pub fn invalidations_share(&self) -> ShareCurve {
+        ShareCurve::from_keyed_weights(self.values.values().map(|s| (s.writes, s.deaths)))
+    }
+
+    /// Fig 3(c): cumulative share of rebirths, values sorted by write
+    /// count.
+    pub fn rebirths_share(&self) -> ShareCurve {
+        ShareCurve::from_keyed_weights(self.values.values().map(|s| (s.writes, s.rebirths)))
+    }
+
+    fn bins<F: Fn(&ValueStats) -> (f64, u64)>(&self, quantity: F) -> Vec<PopularityBin> {
+        // Band values by floor(log2(writes)); writes >= 1 always.
+        let mut sums: HashMap<u32, (f64, u64, u64)> = HashMap::new();
+        for stats in self.values.values() {
+            let degree = stats.writes.max(1).ilog2();
+            let (q, samples) = quantity(stats);
+            let entry = sums.entry(degree).or_default();
+            entry.0 += q;
+            entry.1 += samples;
+            entry.2 += 1;
+        }
+        let mut bins: Vec<PopularityBin> = sums
+            .into_iter()
+            .map(|(degree, (sum, samples, values))| PopularityBin {
+                degree,
+                write_range: (1 << degree, (1u64 << (degree + 1)) - 1),
+                values,
+                mean: if samples == 0 {
+                    0.0
+                } else {
+                    sum / samples as f64
+                },
+            })
+            .collect();
+        bins.sort_by_key(|b| b.degree);
+        bins
+    }
+
+    /// Fig 4(a): mean writes from a copy's creation to its death, per
+    /// popularity band.
+    pub fn lifetime_by_popularity(&self) -> Vec<PopularityBin> {
+        self.bins(|s| (s.lifetime_sum as f64, s.lifetime_samples))
+    }
+
+    /// Fig 4(b): mean writes from death to rebirth, per popularity
+    /// band.
+    pub fn dead_time_by_popularity(&self) -> Vec<PopularityBin> {
+        self.bins(|s| (s.dead_time_sum as f64, s.dead_time_samples))
+    }
+
+    /// Fig 4(c): mean rebirth count per value, per popularity band.
+    pub fn rebirths_by_popularity(&self) -> Vec<PopularityBin> {
+        self.bins(|s| (s.rebirths as f64, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(seq: u64, lpn: u64, value: u64) -> TraceRecord {
+        TraceRecord::write(seq, Lpn::new(lpn), ValueId::new(value))
+    }
+
+    #[test]
+    fn creation_death_rebirth_counting() {
+        // 7 written twice at different addresses, both copies die,
+        // then 7 returns twice (two rebirths).
+        let records = [
+            w(0, 0, 7),
+            w(1, 1, 7),
+            w(2, 0, 1), // death of copy @0
+            w(3, 1, 2), // death of copy @1
+            w(4, 2, 7), // rebirth 1
+            w(5, 3, 7), // rebirth 2
+        ];
+        let lc = ValueLifecycles::analyze(&records);
+        let s = lc.value(ValueId::new(7)).expect("tracked");
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.deaths, 2);
+        assert_eq!(s.rebirths, 2);
+        assert_eq!(lc.total_writes(), 6);
+        assert_eq!(lc.unique_values(), 3);
+    }
+
+    #[test]
+    fn rebirth_requires_a_dead_copy() {
+        let records = [w(0, 0, 7), w(1, 1, 7)]; // two live copies, no death
+        let lc = ValueLifecycles::analyze(&records);
+        let s = lc.value(ValueId::new(7)).expect("tracked");
+        assert_eq!(s.rebirths, 0);
+        assert_eq!(lc.fraction_with_deaths(), 0.0);
+    }
+
+    #[test]
+    fn lifetime_interval_measured_in_writes() {
+        let records = [
+            w(0, 0, 7), // clock 1: birth
+            w(1, 5, 9), // clock 2
+            w(2, 0, 8), // clock 3: death of 7 -> lifetime 2
+            w(3, 1, 7), // clock 4: rebirth -> dead time 1
+        ];
+        let lc = ValueLifecycles::analyze(&records);
+        let s = lc.value(ValueId::new(7)).expect("tracked");
+        assert_eq!(s.lifetime_sum, 2);
+        assert_eq!(s.lifetime_samples, 1);
+        assert_eq!(s.mean_lifetime(), 2.0);
+        assert_eq!(s.dead_time_sum, 1);
+        assert_eq!(s.mean_dead_time(), 1.0);
+    }
+
+    #[test]
+    fn reads_are_ignored() {
+        let records = [
+            w(0, 0, 7),
+            TraceRecord::read(1, Lpn::new(0), ValueId::new(7)),
+            w(2, 0, 8),
+        ];
+        let lc = ValueLifecycles::analyze(&records);
+        assert_eq!(lc.total_writes(), 2);
+        assert_eq!(lc.value(ValueId::new(7)).expect("tracked").deaths, 1);
+    }
+
+    #[test]
+    fn invalidation_cdf_counts_values() {
+        let records = [w(0, 0, 1), w(1, 0, 2), w(2, 0, 3)];
+        // value 1 died, value 2 died, value 3 live
+        let cdf = ValueLifecycles::analyze(&records).invalidation_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf.fraction_le(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_le(1), 1.0);
+    }
+
+    #[test]
+    fn share_curves_expose_popularity_skew() {
+        // Value 9 written 9 times (dying each time at the same lpn),
+        // values 1..=3 written once each.
+        let mut records = Vec::new();
+        for i in 0..9 {
+            records.push(w(i, 0, 9));
+        }
+        records.push(w(9, 1, 1));
+        records.push(w(10, 2, 2));
+        records.push(w(11, 3, 3));
+        let lc = ValueLifecycles::analyze(&records);
+        let writes = lc.writes_share();
+        assert_eq!(writes.share_of_top(0.25), 0.75); // 9 of 12 writes
+        let inval = lc.invalidations_share();
+        assert_eq!(inval.share_of_top(0.25), 1.0); // all deaths are 9's
+        let rebirth = lc.rebirths_share();
+        assert_eq!(rebirth.share_of_top(0.25), 1.0); // all rebirths are 9's
+    }
+
+    #[test]
+    fn popularity_bins_are_log2_bands() {
+        let mut records = Vec::new();
+        let mut seq = 0;
+        // value 1: 1 write -> band 0; value 2: 2 writes -> band 1;
+        // value 3: 5 writes -> band 2.
+        for (value, count) in [(1u64, 1u64), (2, 2), (3, 5)] {
+            for _ in 0..count {
+                records.push(w(seq, 100 + value, value));
+                seq += 1;
+            }
+        }
+        let lc = ValueLifecycles::analyze(&records);
+        let bins = lc.rebirths_by_popularity();
+        let degrees: Vec<u32> = bins.iter().map(|b| b.degree).collect();
+        assert_eq!(degrees, vec![0, 1, 2]);
+        assert_eq!(bins[2].write_range, (4, 7));
+        assert_eq!(bins[0].values, 1);
+    }
+
+    #[test]
+    fn popular_values_are_reborn_more_in_synthetic_traces() {
+        use zssd_trace::{SyntheticTrace, WorkloadProfile};
+        let trace = SyntheticTrace::generate(&WorkloadProfile::mail().scaled(0.02), 9);
+        let lc = ValueLifecycles::analyze(trace.records());
+        let bins = lc.rebirths_by_popularity();
+        assert!(bins.len() >= 3, "need several popularity bands");
+        let first = bins.first().expect("nonempty");
+        let last = bins.last().expect("nonempty");
+        assert!(
+            last.mean > first.mean,
+            "the higher the popularity, the higher the number of rebirths \
+             (paper Fig 4c): {} vs {}",
+            last.mean,
+            first.mean
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let lc = ValueLifecycles::analyze(&[]);
+        assert_eq!(lc.unique_values(), 0);
+        assert_eq!(lc.fraction_with_deaths(), 0.0);
+        assert!(lc.invalidation_cdf().is_empty());
+        assert!(lc.lifetime_by_popularity().is_empty());
+    }
+}

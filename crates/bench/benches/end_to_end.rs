@@ -1,0 +1,49 @@
+//! Small full-system runs for each evaluated system: whole-stack
+//! simulator throughput (trace replay + FTL + GC + pool + dedup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use zssd_core::SystemKind;
+use zssd_ftl::{Ssd, SsdConfig};
+use zssd_trace::{SyntheticTrace, WorkloadProfile};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let profile = WorkloadProfile::mail().scaled(0.005);
+    let trace = SyntheticTrace::generate(&profile, 7);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for system in [
+        SystemKind::Baseline,
+        SystemKind::MqDvp { entries: 2_000 },
+        SystemKind::LruDvp { entries: 2_000 },
+        SystemKind::Ideal,
+        SystemKind::LxSsd { entries: 2_000 },
+        SystemKind::Dedup,
+        SystemKind::DvpPlusDedup { entries: 2_000 },
+    ] {
+        group.bench_function(format!("mail_15k/{system}"), |b| {
+            b.iter(|| {
+                let config = SsdConfig::for_footprint(profile.lpn_space).with_system(system);
+                let report = Ssd::new(config)
+                    .expect("valid drive")
+                    .run_trace(trace.records())
+                    .expect("run succeeds");
+                black_box(report.flash_programs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep `cargo bench --workspace` to a few minutes: fewer
+    // samples and shorter windows than criterion's defaults.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

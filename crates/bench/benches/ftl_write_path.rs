@@ -1,0 +1,58 @@
+//! Per-write simulator cost on the full FTL stack: how much host-side
+//! work a write costs under each system (pure simulator throughput,
+//! not simulated latency).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use zssd_core::SystemKind;
+use zssd_ftl::{Ssd, SsdConfig};
+use zssd_types::{Lpn, SimTime, ValueId};
+
+fn drive(system: SystemKind) -> Ssd {
+    Ssd::new(
+        SsdConfig::for_footprint(20_000)
+            .without_precondition()
+            .with_system(system),
+    )
+    .expect("valid drive")
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_write_path");
+    group.sample_size(20);
+    for system in [
+        SystemKind::Baseline,
+        SystemKind::MqDvp { entries: 10_000 },
+        SystemKind::Dedup,
+        SystemKind::DvpPlusDedup { entries: 10_000 },
+    ] {
+        group.bench_function(format!("10k_writes/{system}"), |b| {
+            b.iter_batched_ref(
+                || drive(system),
+                |ssd| {
+                    for i in 0..10_000u64 {
+                        let lpn = Lpn::new((i * 13) % 20_000);
+                        let value = ValueId::new(i % 700); // heavy reuse
+                        ssd.write(lpn, value, SimTime::ZERO).expect("write");
+                    }
+                    black_box(ssd.stats().host_writes)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep `cargo bench --workspace` to a few minutes: fewer
+    // samples and shorter windows than criterion's defaults.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_write_path
+}
+criterion_main!(benches);

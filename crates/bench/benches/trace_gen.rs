@@ -1,0 +1,37 @@
+//! Synthetic trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use zssd_trace::{SyntheticTrace, WorkloadProfile};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    group.sample_size(10);
+    for profile in [
+        WorkloadProfile::mail().scaled(0.02),
+        WorkloadProfile::trans().scaled(0.02),
+    ] {
+        let name = format!("{}_{}req", profile.name, profile.total_requests());
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(SyntheticTrace::generate(&profile, seed).records().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep `cargo bench --workspace` to a few minutes: fewer
+    // samples and shorter windows than criterion's defaults.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generation
+}
+criterion_main!(benches);

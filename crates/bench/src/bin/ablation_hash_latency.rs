@@ -1,0 +1,47 @@
+//! **Ablation** — sensitivity to the hash-engine latency (the paper
+//! models 12 µs, citing Helion hashing cores). Mail workload,
+//! 200 K-entry pool.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin ablation_hash_latency`.
+
+use zssd_bench::{
+    config_for, pct, scale, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+};
+use zssd_core::SystemKind;
+use zssd_flash::FlashTiming;
+use zssd_ftl::Ssd;
+use zssd_metrics::reduction_pct;
+use zssd_trace::WorkloadProfile;
+use zssd_types::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = WorkloadProfile::mail().scaled(scale());
+    let trace = trace_for(&profile);
+    let system = SystemKind::MqDvp {
+        entries: scaled_entries(PAPER_POOL_ENTRIES),
+    };
+    let baseline =
+        Ssd::new(config_for(&profile, SystemKind::Baseline))?.run_trace(trace.records())?;
+    eprintln!("  [baseline] done");
+
+    println!("Ablation: hash-engine latency sensitivity (mail, DVP-200K)\n");
+    let mut table = TextTable::new(vec!["hash latency", "mean latency", "improvement"]);
+    for us in [0u64, 6, 12, 25, 50, 100] {
+        let timing = FlashTiming::paper_table1().with_hash(SimDuration::from_micros(us));
+        let report = Ssd::new(config_for(&profile, system).with_timing(timing))?
+            .run_trace(trace.records())?;
+        table.row(vec![
+            SimDuration::from_micros(us).to_string(),
+            report.mean_latency().to_string(),
+            pct(reduction_pct(
+                baseline.mean_latency().as_nanos() as f64,
+                report.mean_latency().as_nanos() as f64,
+            )),
+        ]);
+        eprintln!("  [{us}us] done");
+    }
+    println!("{table}");
+    println!("the 12us engine cost is small against the 400us program it replaces;");
+    println!("benefits erode only when hashing approaches flash-read latency");
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Runs the full evaluation matrix once — every system of §V on every
+//! workload of Table II — and prints the consolidated numbers behind
+//! Figures 9–12, 14, 15 plus the paper's headline means. This is the
+//! binary `EXPERIMENTS.md` is produced from.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin all_experiments`
+//! (`ZSSD_SCALE=0.1` for a quick pass).
+
+use zssd_bench::{
+    compare_systems, experiment_profiles, pct, scaled_entries, trace_for, TextTable,
+    PAPER_POOL_ENTRIES,
+};
+use zssd_core::SystemKind;
+use zssd_ftl::RunReport;
+use zssd_metrics::reduction_pct;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entries = scaled_entries(PAPER_POOL_ENTRIES);
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::MqDvp { entries },
+        SystemKind::LruDvp { entries },
+        SystemKind::Ideal,
+        SystemKind::LxSsd { entries },
+        SystemKind::Dedup,
+        SystemKind::DvpPlusDedup { entries },
+    ];
+    println!(
+        "Full evaluation matrix ({} systems x 6 workloads)\n",
+        systems.len()
+    );
+
+    let mut all: Vec<(String, Vec<RunReport>)> = Vec::new();
+    for profile in experiment_profiles() {
+        let trace = trace_for(&profile);
+        eprintln!("[{}] {} records", profile.name, trace.records().len());
+        let reports = compare_systems(&profile, trace.records(), &systems)?;
+        for r in &reports {
+            eprintln!(
+                "  {} programs={} erases={} mean={}",
+                r.system,
+                r.flash_programs,
+                r.erases,
+                r.mean_latency()
+            );
+        }
+        all.push((profile.name.clone(), reports));
+    }
+
+    // Write reduction (Fig 9 / 14 style) -----------------------------
+    let mut writes = TextTable::new(vec![
+        "trace",
+        "DVP",
+        "LRU-DVP",
+        "Ideal",
+        "LX-SSD",
+        "Dedup",
+        "DVP+Dedup",
+    ]);
+    let mut erase = TextTable::new(vec![
+        "trace",
+        "DVP",
+        "LRU-DVP",
+        "Ideal",
+        "LX-SSD",
+        "Dedup",
+        "DVP+Dedup",
+    ]);
+    let mut mean_lat = TextTable::new(vec![
+        "trace",
+        "DVP",
+        "LRU-DVP",
+        "Ideal",
+        "LX-SSD",
+        "Dedup",
+        "DVP+Dedup",
+    ]);
+    let mut tail_lat = TextTable::new(vec![
+        "trace",
+        "DVP",
+        "LRU-DVP",
+        "Ideal",
+        "LX-SSD",
+        "Dedup",
+        "DVP+Dedup",
+    ]);
+    let mut sums = [[0.0f64; 6]; 4];
+    for (name, reports) in &all {
+        let base = &reports[0];
+        let mut wr = vec![name.clone()];
+        let mut er = vec![name.clone()];
+        let mut ml = vec![name.clone()];
+        let mut tl = vec![name.clone()];
+        for (i, r) in reports[1..].iter().enumerate() {
+            let w = reduction_pct(base.flash_programs as f64, r.flash_programs as f64);
+            let e = reduction_pct(base.erases as f64, r.erases as f64);
+            let m = reduction_pct(
+                base.mean_latency().as_nanos() as f64,
+                r.mean_latency().as_nanos() as f64,
+            );
+            let t = reduction_pct(
+                base.tail_latency().as_nanos() as f64,
+                r.tail_latency().as_nanos() as f64,
+            );
+            sums[0][i] += w;
+            sums[1][i] += e;
+            sums[2][i] += m;
+            sums[3][i] += t;
+            wr.push(pct(w));
+            er.push(pct(e));
+            ml.push(pct(m));
+            tl.push(pct(t));
+        }
+        writes.row(wr);
+        erase.row(er);
+        mean_lat.row(ml);
+        tail_lat.row(tl);
+    }
+    let n = all.len() as f64;
+    for (table, sums) in [
+        (&mut writes, &sums[0]),
+        (&mut erase, &sums[1]),
+        (&mut mean_lat, &sums[2]),
+        (&mut tail_lat, &sums[3]),
+    ] {
+        let mut row = vec!["MEAN".to_owned()];
+        row.extend(sums.iter().map(|&s| pct(s / n)));
+        table.row(row);
+    }
+
+    println!("\n== % write (NAND program) reduction vs Baseline  [Figs 9, 14]\n{writes}");
+    println!("\n== % erase reduction vs Baseline  [Fig 10]\n{erase}");
+    println!("\n== % mean latency improvement vs Baseline  [Figs 11, 15]\n{mean_lat}");
+    println!("\n== % tail (p99) latency improvement vs Baseline  [Fig 12]\n{tail_lat}");
+
+    println!("\npaper headlines: 29% writes / 35.5% erases / 24.5% mean / 22% tail (DVP-200K);");
+    println!("DVP ~2x LX-SSD on mean latency; DVP+Dedup adds ~11% writes over Dedup alone");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! **Figure 3** — cumulative share of (a) writes, (b) invalidations,
+//! and (c) rebirths across unique values, with values sorted by write
+//! count descending (the paper's x-axis).
+//!
+//! Run with `cargo run -p zssd-bench --release --bin fig03_value_cdfs`.
+
+use zssd_analysis::ValueLifecycles;
+use zssd_bench::{frac_pct, scale, trace_for, TextTable};
+use zssd_trace::WorkloadProfile;
+
+fn main() {
+    let profile = WorkloadProfile::mail().scaled(scale());
+    let trace = trace_for(&profile);
+    let lc = ValueLifecycles::analyze(trace.records());
+    let writes = lc.writes_share();
+    let invals = lc.invalidations_share();
+    let rebirths = lc.rebirths_share();
+
+    println!("Figure 3: cumulative shares over values sorted by write count (mail)\n");
+    let mut table = TextTable::new(vec![
+        "top values",
+        "(a) writes",
+        "(b) invalidations",
+        "(c) rebirths",
+    ]);
+    for pctile in [0.01, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.00] {
+        table.row(vec![
+            frac_pct(pctile),
+            frac_pct(writes.share_of_top(pctile)),
+            frac_pct(invals.share_of_top(pctile)),
+            frac_pct(rebirths.share_of_top(pctile)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "values needed for 80% of writes: top {}",
+        frac_pct(writes.items_for_share(0.8))
+    );
+    println!("paper: ~20% of values account for ~80% of writes and >80% of garbage pages");
+}

@@ -1,0 +1,58 @@
+//! **Figure 9** — reduction in the number of writes (NAND programs),
+//! normalized to the Baseline system, for MQ dead-value pools of
+//! 100 K / 200 K / 300 K entries plus the Ideal (infinite) pool,
+//! across the six workloads.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin fig09_write_reduction`.
+//! Scale down with `ZSSD_SCALE=0.1` for a quick pass (pool sizes scale
+//! with the trace so the sweep stays meaningful).
+
+use zssd_bench::{
+    experiment_profiles, maybe_write_csv, pct, run_system, scaled_entries, trace_for, TextTable,
+};
+use zssd_core::SystemKind;
+use zssd_metrics::reduction_pct;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 9: % reduction in number of writes vs Baseline\n");
+    let sweeps = [100_000usize, 200_000, 300_000];
+    let mut table = TextTable::new(vec!["trace", "DVP-100K", "DVP-200K", "DVP-300K", "Ideal"]);
+    let mut means = [0.0f64; 4];
+    let profiles = experiment_profiles();
+    for profile in &profiles {
+        let trace = trace_for(profile);
+        let records = trace.records();
+        let baseline = run_system(profile, records, SystemKind::Baseline)?;
+        let mut cells = vec![profile.name.clone()];
+        for (i, &entries) in sweeps.iter().enumerate() {
+            let report = run_system(
+                profile,
+                records,
+                SystemKind::MqDvp {
+                    entries: scaled_entries(entries),
+                },
+            )?;
+            let red = reduction_pct(baseline.flash_programs as f64, report.flash_programs as f64);
+            means[i] += red;
+            cells.push(pct(red));
+        }
+        let ideal = run_system(profile, records, SystemKind::Ideal)?;
+        let red = reduction_pct(baseline.flash_programs as f64, ideal.flash_programs as f64);
+        means[3] += red;
+        cells.push(pct(red));
+        table.row(cells);
+        eprintln!("  [{}] done", profile.name);
+    }
+    let n = profiles.len() as f64;
+    table.row(vec![
+        "MEAN".into(),
+        pct(means[0] / n),
+        pct(means[1] / n),
+        pct(means[2] / n),
+        pct(means[3] / n),
+    ]);
+    maybe_write_csv("fig09_write_reduction", &table);
+    println!("{table}");
+    println!("paper: mean 29% at 200K entries, up to 70% (mail); gains saturate beyond 200K");
+    Ok(())
+}

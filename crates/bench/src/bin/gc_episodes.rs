@@ -1,0 +1,56 @@
+//! **Episode analysis** — the consistency story behind Figs 11/12:
+//! GC "imposes frequent short episodes of high latencies"; recycling
+//! garbage pages removes many of them. Prints per-window worst
+//! latencies for Baseline vs DVP on the mail workload, plus the
+//! fraction of windows containing an episode.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin gc_episodes`.
+
+use zssd_bench::{
+    config_for, frac_pct, scale, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+};
+use zssd_core::SystemKind;
+use zssd_ftl::Ssd;
+use zssd_trace::WorkloadProfile;
+use zssd_types::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = WorkloadProfile::mail().scaled(scale());
+    let trace = trace_for(&profile);
+    let window = SimDuration::from_millis(250);
+    let threshold = SimDuration::from_millis(4); // ~ one erase stall
+
+    let baseline =
+        Ssd::new(config_for(&profile, SystemKind::Baseline))?.run_trace(trace.records())?;
+    eprintln!("  [baseline] done");
+    let dvp = Ssd::new(config_for(
+        &profile,
+        SystemKind::MqDvp {
+            entries: scaled_entries(PAPER_POOL_ENTRIES),
+        },
+    ))?
+    .run_trace(trace.records())?;
+    eprintln!("  [dvp] done");
+
+    println!("GC latency episodes (mail): windows of {window}, episode = max > {threshold}\n");
+    let base_windows = baseline.timeline.windows(window);
+    let dvp_windows = dvp.timeline.windows(window);
+    let mut table = TextTable::new(vec!["window", "baseline max", "DVP max"]);
+    // Print a readable subsample: every Nth window.
+    let step = (base_windows.len() / 24).max(1);
+    for (b, d) in base_windows.iter().zip(&dvp_windows).step_by(step) {
+        table.row(vec![
+            b.start.to_string(),
+            b.max.to_string(),
+            d.max.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "episode fraction: baseline {}  DVP {}",
+        frac_pct(baseline.timeline.episode_fraction(window, threshold)),
+        frac_pct(dvp.timeline.episode_fraction(window, threshold)),
+    );
+    println!("the pool removes programs and erases, so fewer windows contain a GC stall");
+    Ok(())
+}

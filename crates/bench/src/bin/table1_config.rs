@@ -1,0 +1,56 @@
+//! **Table I** — main characteristics of the modeled SSD.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin table1_config`.
+
+use zssd_ftl::SsdConfig;
+
+fn main() {
+    let paper = SsdConfig::paper_table1();
+    let geom = paper.geometry;
+    let t = paper.timing;
+    println!("Table I: main characteristics of the modeled SSD\n");
+    println!("paper configuration (SsdConfig::paper_table1):");
+    println!(
+        "  dimension            : {}x{} (channels x chips per channel)",
+        geom.channels(),
+        geom.chips_per_channel()
+    );
+    println!(
+        "  capacity             : {} GiB ({} pages)",
+        geom.total_pages() * 4096 / (1 << 30),
+        geom.total_pages()
+    );
+    println!(
+        "  over-provisioning    : {:.0}%",
+        paper.over_provisioning() * 100.0
+    );
+    println!("  page size            : 4 KB");
+    println!("  block size           : {} pages", geom.pages_per_block());
+    println!("  planes per die       : {}", geom.planes_per_die());
+    println!("  dies per chip        : {}", geom.dies_per_chip());
+    println!("  read latency         : {}", t.read);
+    println!("  program latency      : {}", t.program);
+    println!("  erase latency        : {}", t.erase);
+    println!("  channel transfer/4KB : {}", t.transfer);
+    println!("  hashing latency      : {}", t.hash);
+
+    let scaled = SsdConfig::for_footprint(100_000);
+    let g = scaled.geometry;
+    println!("\nscaled experiment drive (SsdConfig::for_footprint, e.g. 100K logical pages):");
+    println!(
+        "  dimension            : {}x{}, {} dies x {} planes, {} blocks/plane x {} pages",
+        g.channels(),
+        g.chips_per_channel(),
+        g.dies_per_chip(),
+        g.planes_per_die(),
+        g.blocks_per_plane(),
+        g.pages_per_block()
+    );
+    println!(
+        "  capacity             : {} pages physical / {} logical (OP {:.1}%)",
+        g.total_pages(),
+        scaled.logical_pages,
+        scaled.over_provisioning() * 100.0
+    );
+    println!("  same Table I latencies; topology keeps channel/chip queueing effects");
+}

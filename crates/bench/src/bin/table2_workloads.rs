@@ -1,0 +1,50 @@
+//! **Table II** — workload characteristics, measured on the generated
+//! traces and compared against the paper's targets.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin table2_workloads`.
+
+use zssd_bench::{experiment_profiles, frac_pct, maybe_write_csv, trace_for, TextTable};
+use zssd_trace::TraceStats;
+
+/// Paper Table II: (name, WR %, unique write %, unique read %).
+const PAPER: [(&str, f64, f64, f64); 6] = [
+    ("web", 77.0, 42.0, 32.0),
+    ("home", 96.0, 66.0, 80.0),
+    ("mail", 77.0, 8.0, 80.0),
+    ("hadoop", 30.0, 63.9, 17.5),
+    ("trans", 55.0, 77.4, 13.8),
+    ("desktop", 42.0, 74.7, 49.7),
+];
+
+fn main() {
+    println!("Table II: workload characteristics (paper target vs measured)\n");
+    let mut table = TextTable::new(vec![
+        "trace",
+        "requests",
+        "WR% paper",
+        "WR% meas",
+        "uniqW% paper",
+        "uniqW% meas",
+        "uniqR% paper",
+        "uniqR% meas",
+        "footprint",
+    ]);
+    for (profile, paper) in experiment_profiles().iter().zip(PAPER) {
+        assert_eq!(profile.name, paper.0, "profile order matches the paper");
+        let trace = trace_for(profile);
+        let stats = TraceStats::measure(trace.records());
+        table.row(vec![
+            profile.name.clone(),
+            stats.requests.to_string(),
+            format!("{:.1}%", paper.1),
+            frac_pct(stats.write_ratio()),
+            format!("{:.1}%", paper.2),
+            frac_pct(stats.unique_write_frac()),
+            format!("{:.1}%", paper.3),
+            frac_pct(stats.unique_read_frac()),
+            stats.distinct_lpns.to_string(),
+        ]);
+    }
+    maybe_write_csv("table2_workloads", &table);
+    println!("{table}");
+}

@@ -1,0 +1,299 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (see `DESIGN.md` §5 for the index); this library holds what they
+//! share: the experiment workload set, full-system runners, and plain
+//! text-table rendering.
+//!
+//! Scale: experiments default to the paper-sized traces (150 K
+//! requests/day × 3 days per workload). Set `ZSSD_SCALE` (e.g. `0.1`)
+//! to shrink every trace and footprint proportionally for quick runs,
+//! and `ZSSD_SEED` to change the generator seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+use zssd_core::SystemKind;
+use zssd_ftl::{RunReport, Ssd, SsdConfig, SsdError};
+use zssd_trace::{SyntheticTrace, TraceRecord, WorkloadProfile};
+
+/// The paper's headline pool size (entries).
+pub const PAPER_POOL_ENTRIES: usize = 200_000;
+
+/// Reads the experiment scale factor from `ZSSD_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("ZSSD_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Reads the trace seed from `ZSSD_SEED` (default 42).
+pub fn seed() -> u64 {
+    std::env::var("ZSSD_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42)
+}
+
+/// Pool entry capacity scaled with the trace scale, so "200 K entries"
+/// keeps its meaning relative to trace footprint when `ZSSD_SCALE`
+/// shrinks the run. At scale 1.0 this is the identity.
+pub fn scaled_entries(entries: usize) -> usize {
+    ((entries as f64) * scale()).round().max(16.0) as usize
+}
+
+/// The six paper workloads at the configured scale.
+pub fn experiment_profiles() -> Vec<WorkloadProfile> {
+    WorkloadProfile::paper_set()
+        .into_iter()
+        .map(|p| p.scaled(scale()))
+        .collect()
+}
+
+/// The three FIU day-series workloads (Figs 1, 5, 6) at the configured
+/// scale.
+pub fn fiu_profiles() -> Vec<WorkloadProfile> {
+    WorkloadProfile::fiu_set()
+        .into_iter()
+        .map(|p| p.scaled(scale()))
+        .collect()
+}
+
+/// Generates the trace for a profile with the configured seed.
+pub fn trace_for(profile: &WorkloadProfile) -> SyntheticTrace {
+    SyntheticTrace::generate(profile, seed())
+}
+
+/// Builds the drive configuration for a profile/system pair. The
+/// dedup fingerprint index gets the same RAM budget as the paper's
+/// pool (200 K entries), scaled with the traces.
+pub fn config_for(profile: &WorkloadProfile, system: SystemKind) -> SsdConfig {
+    SsdConfig::for_footprint(profile.lpn_space)
+        .with_system(system)
+        .with_dedup_index_entries(scaled_entries(PAPER_POOL_ENTRIES))
+}
+
+/// Runs one full-system simulation of `records` under `system`, sized
+/// for `profile`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (configuration, out-of-space).
+pub fn run_system(
+    profile: &WorkloadProfile,
+    records: &[TraceRecord],
+    system: SystemKind,
+) -> Result<RunReport, SsdError> {
+    Ssd::new(config_for(profile, system))?.run_trace(records)
+}
+
+/// Runs the same records under several systems, in order.
+///
+/// # Errors
+///
+/// Propagates the first simulator error.
+pub fn compare_systems(
+    profile: &WorkloadProfile,
+    records: &[TraceRecord],
+    systems: &[SystemKind],
+) -> Result<Vec<RunReport>, SsdError> {
+    systems
+        .iter()
+        .map(|&system| run_system(profile, records, system))
+        .collect()
+}
+
+/// A minimal aligned text table for experiment output.
+///
+/// # Examples
+///
+/// ```
+/// use zssd_bench::TextTable;
+/// let mut t = TextTable::new(vec!["workload", "reduction"]);
+/// t.row(vec!["mail".into(), "70.0%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("mail"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience: formats and appends a row of displayable cells.
+    pub fn row_display<D: Display>(&mut self, cells: Vec<D>) {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+impl TextTable {
+    /// Renders the table as CSV (header row + data rows, commas and
+    /// quotes escaped by double-quoting).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table as `<name>.csv` into the directory named by the
+/// `ZSSD_CSV` environment variable, if set. Silent no-op otherwise;
+/// I/O errors are reported to stderr but never fail an experiment.
+pub fn maybe_write_csv(name: &str, table: &TextTable) {
+    let Ok(dir) = std::env::var("ZSSD_CSV") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn frac_pct(x: f64) -> String {
+    pct(x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["a", "quantity"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row_display(vec![12, 345]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_delimiters_and_quotes() {
+        let mut t = TextTable::new(vec!["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        t.row(vec!["plain".into(), "ok".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,note");
+        assert_eq!(lines[1], "\"a,b\",\"say \"\"hi\"\"\"");
+        assert_eq!(lines[2], "plain,ok");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(12.34), "12.3%");
+        assert_eq!(frac_pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Do not set env vars here (tests run in parallel); just check
+        // the defaults are sane when unset.
+        assert!(scale() > 0.0);
+        let _ = seed();
+        assert!(scaled_entries(100) >= 16);
+    }
+}

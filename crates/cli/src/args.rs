@@ -1,0 +1,113 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` pairs with typed accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs, rejecting unknown keys and bare
+    /// positionals.
+    pub fn parse(argv: &[String], allowed: &[&str]) -> Result<Args, ArgError> {
+        let mut values = HashMap::new();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected argument {arg:?}")));
+            };
+            if !allowed.contains(&key) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key}; expected one of: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if values.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ArgError(format!("bad value for --{key}: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let args = Args::parse(&argv("--workload mail --scale 0.5"), &["workload", "scale"])
+            .expect("valid");
+        assert_eq!(args.required("workload").expect("present"), "mail");
+        assert_eq!(args.parse_or("scale", 1.0f64).expect("parses"), 0.5);
+        assert_eq!(args.parse_or("seed", 42u64).expect("default"), 42);
+        assert_eq!(args.optional("missing"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Args::parse(&argv("--bogus 1"), &["workload"]).is_err());
+        assert!(Args::parse(&argv("mail"), &["workload"]).is_err());
+        assert!(Args::parse(&argv("--workload"), &["workload"]).is_err());
+        assert!(Args::parse(&argv("--workload a --workload b"), &["workload"]).is_err());
+    }
+
+    #[test]
+    fn required_and_bad_parse_error() {
+        let args = Args::parse(&argv("--scale abc"), &["scale"]).expect("parses as string");
+        assert!(args.required("workload").is_err());
+        assert!(args.parse_or("scale", 1.0f64).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use zssd_core::SystemKind;
+use zssd_ftl::{Ssd, SsdConfig};
+use zssd_trace::{read_file, write_file, SyntheticTrace, TraceRecord, TraceStats, WorkloadProfile};
+
+use crate::args::{ArgError, Args};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const HELP: &str = "\
+zssd — the zombie-ssd simulator (Reviving Zombie Pages on SSDs, IISWC'18)
+
+USAGE:
+    zssd <command> [--flag value ...]
+
+COMMANDS:
+    list                             workloads and systems available
+    gen      --workload W --out F    generate a trace file
+             [--scale S] [--seed N] [--days D]
+    run      --workload W --system SYS   simulate a generated trace
+             [--entries N] [--scale S] [--seed N] [--days D]
+    replay   --trace F --system SYS      simulate a trace file
+             [--entries N] [--footprint P]
+    analyze  --workload W            value life-cycle characterization
+             [--scale S] [--seed N]
+    help                             this text
+
+SYSTEMS (for --system):
+    baseline | dvp | lru-dvp | ideal | lxssd | dedup | dvp-dedup
+";
+
+/// Routes a command line to its implementation.
+pub fn dispatch(argv: &[String]) -> CliResult {
+    let Some((command, rest)) = argv.split_first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "list" => list(),
+        "gen" => gen(rest),
+        "run" => run(rest),
+        "replay" => replay(rest),
+        "analyze" => analyze(rest),
+        other => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
+    }
+}
+
+fn workload(name: &str) -> Result<WorkloadProfile, ArgError> {
+    WorkloadProfile::paper_set()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown workload {name:?}; expected web/home/mail/hadoop/trans/desktop"
+            ))
+        })
+}
+
+fn system(name: &str, entries: usize) -> Result<SystemKind, ArgError> {
+    Ok(match name {
+        "baseline" => SystemKind::Baseline,
+        "dvp" => SystemKind::MqDvp { entries },
+        "lru-dvp" => SystemKind::LruDvp { entries },
+        "ideal" => SystemKind::Ideal,
+        "lxssd" => SystemKind::LxSsd { entries },
+        "dedup" => SystemKind::Dedup,
+        "dvp-dedup" => SystemKind::DvpPlusDedup { entries },
+        other => {
+            return Err(ArgError(format!(
+                "unknown system {other:?}; see `zssd help`"
+            )))
+        }
+    })
+}
+
+fn scaled_profile(args: &Args) -> Result<WorkloadProfile, Box<dyn Error>> {
+    let mut profile = workload(args.required("workload")?)?;
+    let scale: f64 = args.parse_or("scale", 1.0)?;
+    if scale != 1.0 {
+        profile = profile.scaled(scale);
+    }
+    let days = match args.optional("days") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| ArgError(format!("bad value for --days: {e}")))?,
+        None => profile.days,
+    };
+    Ok(profile.with_days(days))
+}
+
+fn list() -> CliResult {
+    println!("workloads (Table II profiles):");
+    for p in WorkloadProfile::paper_set() {
+        println!(
+            "  {:8} WR {:>4.0}%  unique writes {:>4.1}%  {} req/day x {} days, footprint {} pages",
+            p.name,
+            p.write_ratio * 100.0,
+            p.unique_write_frac * 100.0,
+            p.requests_per_day,
+            p.days,
+            p.lpn_space
+        );
+    }
+    println!("\nsystems: baseline dvp lru-dvp ideal lxssd dedup dvp-dedup");
+    Ok(())
+}
+
+fn gen(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv, &["workload", "out", "scale", "seed", "days"])?;
+    let profile = scaled_profile(&args)?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let trace = SyntheticTrace::generate(&profile, seed);
+    write_file(trace.records(), out)?;
+    let stats = TraceStats::measure(trace.records());
+    println!("wrote {} records to {out}", trace.records().len());
+    println!("{stats}");
+    Ok(())
+}
+
+fn simulate(records: &[TraceRecord], footprint: u64, system: SystemKind) -> CliResult {
+    let config = SsdConfig::for_footprint(footprint).with_system(system);
+    eprintln!(
+        "simulating {} requests on {} ({} physical pages, OP {:.1}%)...",
+        records.len(),
+        system,
+        config.geometry.total_pages(),
+        config.over_provisioning() * 100.0
+    );
+    let report = Ssd::new(config)?.run_trace(records)?;
+    println!("{report}");
+    println!(
+        "  wear: min {} / mean {:.1} / max {} erases per block",
+        report.wear.min_erases, report.wear.mean_erases, report.wear.max_erases
+    );
+    Ok(())
+}
+
+fn run(argv: &[String]) -> CliResult {
+    let args = Args::parse(
+        argv,
+        &["workload", "system", "entries", "scale", "seed", "days"],
+    )?;
+    let profile = scaled_profile(&args)?;
+    let entries: usize = args.parse_or("entries", 200_000)?;
+    let system = system(args.required("system")?, entries)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let trace = SyntheticTrace::generate(&profile, seed);
+    simulate(trace.records(), profile.lpn_space, system)
+}
+
+fn replay(argv: &[String]) -> CliResult {
+    let args = Args::parse(argv, &["trace", "system", "entries", "footprint"])?;
+    let records = read_file(args.required("trace")?)?;
+    let entries: usize = args.parse_or("entries", 200_000)?;
+    let system = system(args.required("system")?, entries)?;
+    let max_lpn = records
+        .iter()
+        .map(|r| r.lpn.index() + 1)
+        .max()
+        .unwrap_or(64);
+    let footprint: u64 = args.parse_or("footprint", max_lpn.max(64))?;
+    simulate(&records, footprint, system)
+}
+
+fn analyze(argv: &[String]) -> CliResult {
+    use zssd_analysis::{infinite_reuse, ValueLifecycles};
+    let args = Args::parse(argv, &["workload", "scale", "seed", "days"])?;
+    let profile = scaled_profile(&args)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let trace = SyntheticTrace::generate(&profile, seed);
+    let stats = TraceStats::measure(trace.records());
+    println!("{} — {stats}", profile.name);
+
+    let lc = ValueLifecycles::analyze(trace.records());
+    println!(
+        "values: {} unique, {:.1}% died at least once, {} rebirths total",
+        lc.unique_values(),
+        lc.fraction_with_deaths() * 100.0,
+        lc.total_rebirths()
+    );
+    println!(
+        "popularity: top 20% of values carry {:.1}% of writes, {:.1}% of rebirths",
+        lc.writes_share().share_of_top(0.2) * 100.0,
+        lc.rebirths_share().share_of_top(0.2) * 100.0
+    );
+    let plain = infinite_reuse(trace.records(), false);
+    let dedup = infinite_reuse(trace.records(), true);
+    println!(
+        "reuse bound: {:.1}% of writes revivable (infinite pool); after dedup {:.1}% \
+         (+{:.1}% removed by dedup itself)",
+        plain.reuse_fraction() * 100.0,
+        dedup.reuse_fraction() * 100.0,
+        dedup.dedup_fraction() * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_lookup() {
+        assert_eq!(workload("mail").expect("known").name, "mail");
+        assert!(workload("floppy").is_err());
+    }
+
+    #[test]
+    fn system_lookup() {
+        assert_eq!(
+            system("dvp", 7).expect("known"),
+            SystemKind::MqDvp { entries: 7 }
+        );
+        assert_eq!(system("baseline", 7).expect("known"), SystemKind::Baseline);
+        assert_eq!(
+            system("dvp-dedup", 9).expect("known"),
+            SystemKind::DvpPlusDedup { entries: 9 }
+        );
+        assert!(system("magic", 7).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        let err = dispatch(&["frobnicate".to_owned()]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn help_and_list_succeed() {
+        dispatch(&[]).expect("bare invocation prints help");
+        dispatch(&["help".to_owned()]).expect("help");
+        dispatch(&["list".to_owned()]).expect("list");
+    }
+
+    #[test]
+    fn end_to_end_gen_replay_analyze() {
+        let dir = std::env::temp_dir().join(format!("zssd-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("tiny.trace");
+        let path_str = path.to_str().expect("utf8 path").to_owned();
+        let argv: Vec<String> = [
+            "gen",
+            "--workload",
+            "trans",
+            "--out",
+            &path_str,
+            "--scale",
+            "0.002",
+            "--seed",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("gen");
+        let argv: Vec<String> = [
+            "replay",
+            "--trace",
+            &path_str,
+            "--system",
+            "dvp",
+            "--entries",
+            "64",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("replay");
+        let argv: Vec<String> = ["analyze", "--workload", "trans", "--scale", "0.002"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        dispatch(&argv).expect("analyze");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,70 @@
+//! Dead-value pools — the core contribution of *Reviving Zombie Pages
+//! on SSDs* (IISWC 2018).
+//!
+//! When an out-of-place update invalidates a flash page, its content
+//! does not disappear: the page keeps holding a dead copy of the value
+//! until GC erases the block. This crate implements the paper's
+//! **dead-value pool**: a small buffer of `(16-byte content hash →
+//! garbage PPNs)` entries kept in controller RAM. An incoming write
+//! whose hash hits the pool is *short-circuited* — the matching garbage
+//! page is flipped back to valid and no NAND program happens.
+//!
+//! Four pool policies are provided behind the [`DeadValuePool`] trait:
+//!
+//! * [`MqDeadValuePool`] — the paper's design (§III-IV): the
+//!   Multi-Queue algorithm with one LRU queue per popularity band,
+//!   `log2(pop+1)` promotion, expiration-driven demotion, and
+//!   on-demand eviction from the lowest queue,
+//! * [`LruDeadValuePool`] — the single-queue strawman of §III-A
+//!   (recency only, no popularity),
+//! * [`IdealPool`] — unbounded, the paper's *Ideal* upper bound,
+//! * [`LxSsdPool`] — the prior-work baseline (Zhou et al., LX-SSD):
+//!   recency of the *logical address* rather than of the value, and
+//!   read accesses refresh recency too — precisely the two design
+//!   choices the paper critiques.
+//!
+//! The pools are pure data structures over
+//! [`WriteClock`](zssd_types::WriteClock) logical time; the FTL crate
+//! wires them into the write path, and the GC layer queries
+//! [`DeadValuePool::garbage_weight`] to keep popular zombies alive
+//! longer (§IV-D).
+//!
+//! # Examples
+//!
+//! ```
+//! use zssd_core::{DeadValuePool, MqConfig, MqDeadValuePool};
+//! use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, ValueId, WriteClock};
+//!
+//! let mut pool = MqDeadValuePool::new(MqConfig::default());
+//! let fp = Fingerprint::of_value(ValueId::new(7));
+//! let mut clock = WriteClock::ZERO;
+//!
+//! // A page holding value 7 dies...
+//! let now = clock.tick();
+//! pool.insert_dead(fp, Ppn::new(42), Lpn::new(3), PopularityDegree::new(2), now);
+//!
+//! // ...and a later write of value 7 revives it.
+//! let now = clock.tick();
+//! assert_eq!(pool.take_match(fp, now), Some(Ppn::new(42)));
+//! assert_eq!(pool.take_match(fp, now), None); // consumed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod ideal;
+mod intrusive;
+mod lru;
+mod lxssd;
+mod mq;
+mod pool;
+mod system;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveMqPool};
+pub use ideal::IdealPool;
+pub use lru::LruDeadValuePool;
+pub use lxssd::{LxSsdConfig, LxSsdPool};
+pub use mq::{MqConfig, MqDeadValuePool};
+pub use pool::{DeadValuePool, NoPool, PoolStats};
+pub use system::SystemKind;

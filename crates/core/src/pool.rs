@@ -1,0 +1,220 @@
+//! The [`DeadValuePool`] trait and shared statistics.
+
+use core::fmt;
+
+use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, WriteClock};
+
+/// Counters shared by every pool implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Write lookups that found (and consumed) a matching garbage page.
+    pub hits: u64,
+    /// Write lookups that found nothing.
+    pub misses: u64,
+    /// Dead pages offered to the pool.
+    pub insertions: u64,
+    /// Entries evicted because the pool was full.
+    pub evictions: u64,
+    /// PPNs dropped because GC erased them.
+    pub gc_removals: u64,
+    /// MQ promotions between queues (0 for non-MQ pools).
+    pub promotions: u64,
+    /// MQ demotions between queues (0 for non-MQ pools).
+    pub demotions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio over all lookups, 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ({:.1}%) ins={} evict={} gc={} promo={} demo={}",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.insertions,
+            self.evictions,
+            self.gc_removals,
+            self.promotions,
+            self.demotions
+        )
+    }
+}
+
+/// A buffer of dead values: content hashes of garbage pages and the
+/// physical pages that still hold them.
+///
+/// All methods take the paper's logical clock (`now` = number of write
+/// requests issued so far, §IV-A); implementations use it for recency,
+/// expiration, and interval bookkeeping.
+///
+/// # Contract
+///
+/// * After `insert_dead(fp, ppn, ..)` and until `ppn` is returned by
+///   [`take_match`](DeadValuePool::take_match) or dropped by
+///   [`remove_ppn`](DeadValuePool::remove_ppn) or eviction, the pool
+///   *may* return `ppn` from a lookup of `fp`.
+/// * A PPN is returned by `take_match` **at most once** — the FTL
+///   revives it, so it is no longer garbage.
+/// * [`remove_ppn`](DeadValuePool::remove_ppn) must be called when GC
+///   erases a tracked page, and is idempotent.
+pub trait DeadValuePool: fmt::Debug {
+    /// Looks up the hash of an incoming write. On a hit, removes and
+    /// returns one garbage PPN holding that content (the FTL will
+    /// revive it). Entries with multiple PPNs surrender one per call.
+    fn take_match(&mut self, fp: Fingerprint, now: WriteClock) -> Option<Ppn>;
+
+    /// Offers a freshly dead page to the pool. `lpn` is the logical
+    /// page whose update killed it (used only by address-based
+    /// policies such as LX-SSD); `pop` is the value's popularity degree
+    /// from the mapping table.
+    fn insert_dead(
+        &mut self,
+        fp: Fingerprint,
+        ppn: Ppn,
+        lpn: Lpn,
+        pop: PopularityDegree,
+        now: WriteClock,
+    );
+
+    /// Drops a PPN whose block GC erased. Idempotent; untracked PPNs
+    /// are ignored.
+    fn remove_ppn(&mut self, ppn: Ppn);
+
+    /// Popularity degree of a tracked garbage page, or `None` if the
+    /// page is not in the pool. Queried by the popularity-aware GC
+    /// victim selector (§IV-D).
+    fn garbage_weight(&self, ppn: Ppn) -> Option<PopularityDegree>;
+
+    /// Notifies the pool of a host access (read or write) to a logical
+    /// page. Only address-recency policies (LX-SSD) react; the paper's
+    /// pool deliberately ignores reads (footnote 3).
+    fn note_lpn_access(&mut self, _lpn: Lpn, _now: WriteClock) {}
+
+    /// Number of distinct hash entries currently buffered.
+    fn len(&self) -> usize;
+
+    /// Whether the pool is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of garbage PPNs currently tracked (≥ [`len`](DeadValuePool::len)).
+    fn tracked_ppns(&self) -> usize;
+
+    /// Entry capacity, or `None` for unbounded pools.
+    fn capacity(&self) -> Option<usize>;
+
+    /// Shared statistics.
+    fn stats(&self) -> PoolStats;
+}
+
+/// The null pool used by the *Baseline* system: never matches, never
+/// stores.
+///
+/// # Examples
+///
+/// ```
+/// use zssd_core::{DeadValuePool, NoPool};
+/// use zssd_types::{Fingerprint, ValueId, WriteClock};
+///
+/// let mut pool = NoPool::new();
+/// let fp = Fingerprint::of_value(ValueId::new(1));
+/// assert_eq!(pool.take_match(fp, WriteClock::ZERO), None);
+/// assert_eq!(pool.capacity(), Some(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoPool {
+    stats: PoolStats,
+}
+
+impl NoPool {
+    /// Creates the null pool.
+    pub fn new() -> Self {
+        NoPool::default()
+    }
+}
+
+impl DeadValuePool for NoPool {
+    fn take_match(&mut self, _fp: Fingerprint, _now: WriteClock) -> Option<Ppn> {
+        self.stats.misses += 1;
+        None
+    }
+
+    fn insert_dead(
+        &mut self,
+        _fp: Fingerprint,
+        _ppn: Ppn,
+        _lpn: Lpn,
+        _pop: PopularityDegree,
+        _now: WriteClock,
+    ) {
+    }
+
+    fn remove_ppn(&mut self, _ppn: Ppn) {}
+
+    fn garbage_weight(&self, _ppn: Ppn) -> Option<PopularityDegree> {
+        None
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn tracked_ppns(&self) -> usize {
+        0
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(0)
+    }
+
+    fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zssd_types::ValueId;
+
+    #[test]
+    fn no_pool_never_matches() {
+        let mut pool = NoPool::new();
+        let fp = Fingerprint::of_value(ValueId::new(1));
+        pool.insert_dead(
+            fp,
+            Ppn::new(1),
+            Lpn::new(1),
+            PopularityDegree::ZERO,
+            WriteClock::ZERO,
+        );
+        assert_eq!(pool.take_match(fp, WriteClock::ZERO), None);
+        assert!(pool.is_empty());
+        assert_eq!(pool.tracked_ppns(), 0);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.garbage_weight(Ppn::new(1)), None);
+    }
+
+    #[test]
+    fn hit_ratio_handles_empty_and_mixed() {
+        let mut s = PoolStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_ratio(), 0.75);
+        assert!(s.to_string().contains("75.0%"));
+    }
+}

@@ -1,0 +1,809 @@
+//! The flash array executor: page state plus the busy-until timing
+//! model.
+
+use core::fmt;
+use std::error::Error;
+
+use zssd_metrics::Counter;
+use zssd_types::{AddressError, Ppn, SimTime};
+
+use crate::block::{Block, BlockInfo, PageState};
+use crate::geometry::{BlockId, Geometry};
+use crate::timing::FlashTiming;
+
+/// An illegal flash operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashOpError {
+    /// The page or block does not exist.
+    Address(AddressError),
+    /// The page was not in the state the operation requires (e.g.
+    /// programming a non-free page, reviving a valid page).
+    State {
+        /// The page operated on.
+        ppn: Ppn,
+        /// The state the operation requires.
+        expected: PageState,
+        /// The state the page was actually in.
+        actual: PageState,
+    },
+    /// A program targeted a page other than the block's write cursor
+    /// (NAND programs pages of a block strictly in order).
+    OutOfOrderProgram {
+        /// The page targeted.
+        ppn: Ppn,
+        /// The in-block offset that must be programmed next.
+        expected_offset: u32,
+    },
+    /// An erase targeted a block that still holds valid pages; GC must
+    /// relocate them first.
+    BlockHasValidPages {
+        /// The block targeted.
+        block: BlockId,
+        /// How many valid pages remain.
+        valid_pages: u32,
+    },
+    /// A program targeted a block with no free pages.
+    BlockFull {
+        /// The block targeted.
+        block: BlockId,
+    },
+    /// A copyback crossed planes; the internal-data-move command only
+    /// works within one plane's page register.
+    CrossPlaneCopyback {
+        /// The source page.
+        src: Ppn,
+        /// The destination block (in another plane).
+        dest_block: BlockId,
+    },
+}
+
+impl fmt::Display for FlashOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashOpError::Address(e) => write!(f, "{e}"),
+            FlashOpError::State {
+                ppn,
+                expected,
+                actual,
+            } => write!(f, "page {ppn} is {actual}, operation requires {expected}"),
+            FlashOpError::OutOfOrderProgram {
+                ppn,
+                expected_offset,
+            } => write!(
+                f,
+                "out-of-order program of {ppn}; next programmable offset is {expected_offset}"
+            ),
+            FlashOpError::BlockHasValidPages { block, valid_pages } => {
+                write!(f, "erase of {block} with {valid_pages} valid pages")
+            }
+            FlashOpError::BlockFull { block } => write!(f, "program into full block {block}"),
+            FlashOpError::CrossPlaneCopyback { src, dest_block } => {
+                write!(f, "copyback from {src} to {dest_block} crosses planes")
+            }
+        }
+    }
+}
+
+impl Error for FlashOpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlashOpError::Address(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AddressError> for FlashOpError {
+    fn from(e: AddressError) -> Self {
+        FlashOpError::Address(e)
+    }
+}
+
+/// Aggregate operation counters for the whole array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlashStats {
+    /// Page reads executed (host + GC relocation reads).
+    pub reads: Counter,
+    /// Page programs executed (host + GC relocation writes).
+    pub programs: Counter,
+    /// Block erases executed.
+    pub erases: Counter,
+    /// Pages invalidated (deaths).
+    pub invalidations: Counter,
+    /// Invalid pages flipped back to valid (rebirths via the DVP).
+    pub revivals: Counter,
+}
+
+/// The simulated NAND array: per-page state, per-block wear, and the
+/// busy-until timing model that converts operations into completion
+/// times.
+///
+/// Timing model (per operation, all on the simulated wall clock):
+///
+/// * **read** — the owning chip senses for `tR` as soon as it is free,
+///   then the 4 KB transfer serializes on the channel;
+/// * **program** — the transfer serializes on the channel, then the
+///   chip is busy for `tPROG`;
+/// * **erase** — the chip is busy for `tBERS`; channel time is
+///   negligible.
+///
+/// Chips on the same channel overlap their cell operations but contend
+/// for the channel; operations on the same chip serialize entirely.
+/// Reads that arrive while a program/erase occupies their chip wait —
+/// this queueing is the source of the latency the paper attacks.
+///
+/// State changes that involve no flash command — [`invalidate_page`]
+/// (a mapping update) and [`revive_page`] (the paper's short-circuited
+/// write) — take zero simulated time here; the controller-side costs
+/// (hashing) are charged by the FTL layer.
+///
+/// [`invalidate_page`]: FlashArray::invalidate_page
+/// [`revive_page`]: FlashArray::revive_page
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: Geometry,
+    timing: FlashTiming,
+    blocks: Vec<Block>,
+    chip_busy_until: Vec<SimTime>,
+    channel_busy_until: Vec<SimTime>,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Creates a fully erased array with the given geometry and timing.
+    pub fn new(geometry: Geometry, timing: FlashTiming) -> Self {
+        FlashArray {
+            geometry,
+            timing,
+            blocks: (0..geometry.total_blocks())
+                .map(|_| Block::new(geometry.pages_per_block()))
+                .collect(),
+            chip_busy_until: vec![SimTime::ZERO; geometry.total_chips() as usize],
+            channel_busy_until: vec![SimTime::ZERO; geometry.channels() as usize],
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The array's timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Aggregate operation counters.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<(), AddressError> {
+        if ppn.index() >= self.geometry.total_pages() {
+            Err(AddressError::out_of_range(
+                "ppn",
+                ppn.index(),
+                self.geometry.total_pages(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<(), AddressError> {
+        if block.index() >= self.geometry.total_blocks() {
+            Err(AddressError::out_of_range(
+                "block",
+                block.index(),
+                self.geometry.total_blocks(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Current state of a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is outside the device.
+    pub fn page_state(&self, ppn: Ppn) -> Result<PageState, AddressError> {
+        self.check_ppn(ppn)?;
+        let block = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_in_block(ppn) as usize;
+        Ok(self.blocks[block.index() as usize].pages[offset])
+    }
+
+    /// Occupancy snapshot of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is outside the device.
+    pub fn block_info(&self, block: BlockId) -> Result<BlockInfo, AddressError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block.index() as usize].info())
+    }
+
+    /// Wear (erase count) of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is outside the device.
+    pub fn erase_count(&self, block: BlockId) -> Result<u64, AddressError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block.index() as usize].erase_count)
+    }
+
+    /// Number of free (programmable) pages in a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is outside the device.
+    pub fn free_pages_in(&self, block: BlockId) -> Result<u32, AddressError> {
+        self.check_block(block)?;
+        Ok(self.blocks[block.index() as usize].free_count())
+    }
+
+    /// Reads a page, returning the completion time.
+    ///
+    /// The page must hold data (valid or invalid — GC and revival
+    /// verification may read garbage pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is out of range or free.
+    pub fn read_page(&mut self, ppn: Ppn, at: SimTime) -> Result<SimTime, FlashOpError> {
+        let state = self.page_state(ppn)?;
+        if state == PageState::Free {
+            return Err(FlashOpError::State {
+                ppn,
+                expected: PageState::Valid,
+                actual: state,
+            });
+        }
+        let chip = self.geometry.chip_of(ppn) as usize;
+        let channel = self.geometry.channel_of(ppn) as usize;
+        let sense_start = at.max(self.chip_busy_until[chip]);
+        let sense_done = sense_start + self.timing.read;
+        let xfer_start = sense_done.max(self.channel_busy_until[channel]);
+        let done = xfer_start + self.timing.transfer;
+        self.chip_busy_until[chip] = done;
+        self.channel_busy_until[channel] = done;
+        self.stats.reads.incr();
+        Ok(done)
+    }
+
+    /// Programs a page, returning the completion time. The page becomes
+    /// [`PageState::Valid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is out of range, not free, or not
+    /// the next sequential page of its block.
+    pub fn program_page(&mut self, ppn: Ppn, at: SimTime) -> Result<SimTime, FlashOpError> {
+        let state = self.page_state(ppn)?;
+        if state != PageState::Free {
+            return Err(FlashOpError::State {
+                ppn,
+                expected: PageState::Free,
+                actual: state,
+            });
+        }
+        let block_id = self.geometry.block_of(ppn);
+        let offset = self.geometry.page_in_block(ppn);
+        let block = &mut self.blocks[block_id.index() as usize];
+        if offset != block.write_cursor {
+            return Err(FlashOpError::OutOfOrderProgram {
+                ppn,
+                expected_offset: block.write_cursor,
+            });
+        }
+        block.pages[offset as usize] = PageState::Valid;
+        block.write_cursor += 1;
+        block.valid_count += 1;
+
+        let chip = self.geometry.chip_of(ppn) as usize;
+        let channel = self.geometry.channel_of(ppn) as usize;
+        let xfer_start = at
+            .max(self.chip_busy_until[chip])
+            .max(self.channel_busy_until[channel]);
+        let xfer_done = xfer_start + self.timing.transfer;
+        let done = xfer_done + self.timing.program;
+        self.channel_busy_until[channel] = xfer_done;
+        self.chip_busy_until[chip] = done;
+        self.stats.programs.incr();
+        Ok(done)
+    }
+
+    /// Programs the next sequential page of `block`, returning the
+    /// chosen page and completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is out of range or full.
+    pub fn program_next(
+        &mut self,
+        block: BlockId,
+        at: SimTime,
+    ) -> Result<(Ppn, SimTime), FlashOpError> {
+        self.check_block(block)?;
+        let cursor = self.blocks[block.index() as usize].write_cursor;
+        if cursor >= self.geometry.pages_per_block() {
+            return Err(FlashOpError::BlockFull { block });
+        }
+        let ppn = Ppn::new(self.geometry.first_ppn_of(block).index() + u64::from(cursor));
+        let done = self.program_page(ppn, at)?;
+        Ok((ppn, done))
+    }
+
+    /// Marks a valid page invalid (a death). Pure bookkeeping: no flash
+    /// command, no simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is out of range or not valid.
+    pub fn invalidate_page(&mut self, ppn: Ppn) -> Result<(), FlashOpError> {
+        let state = self.page_state(ppn)?;
+        if state != PageState::Valid {
+            return Err(FlashOpError::State {
+                ppn,
+                expected: PageState::Valid,
+                actual: state,
+            });
+        }
+        let block = &mut self.blocks[self.geometry.block_of(ppn).index() as usize];
+        block.pages[self.geometry.page_in_block(ppn) as usize] = PageState::Invalid;
+        block.valid_count -= 1;
+        block.invalid_count += 1;
+        self.stats.invalidations.incr();
+        Ok(())
+    }
+
+    /// Flips an invalid page back to valid — the paper's rebirth, used
+    /// when a dead-value-pool hit short-circuits a write. Pure
+    /// bookkeeping: no flash command, no simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is out of range or not invalid.
+    pub fn revive_page(&mut self, ppn: Ppn) -> Result<(), FlashOpError> {
+        let state = self.page_state(ppn)?;
+        if state != PageState::Invalid {
+            return Err(FlashOpError::State {
+                ppn,
+                expected: PageState::Invalid,
+                actual: state,
+            });
+        }
+        let block = &mut self.blocks[self.geometry.block_of(ppn).index() as usize];
+        block.pages[self.geometry.page_in_block(ppn) as usize] = PageState::Valid;
+        block.invalid_count -= 1;
+        block.valid_count += 1;
+        self.stats.revivals.incr();
+        Ok(())
+    }
+
+    /// Copies a page to the next free page of a destination block in
+    /// the **same plane** without crossing the channel (the ONFi
+    /// copyback / internal-data-move advanced command): the plane
+    /// reads the source into its page register and programs the
+    /// destination directly. Returns the destination page and the
+    /// completion time. The source keeps its state (the caller
+    /// invalidates it); the destination becomes valid.
+    ///
+    /// Cost: `tR + tPROG` of chip time, no channel occupancy — cheaper
+    /// than a read–modify–write relocation and the reason GC prefers
+    /// in-plane moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source holds no data, the destination
+    /// block is full or in a different plane, or addresses are out of
+    /// range.
+    pub fn copyback_page(
+        &mut self,
+        src: Ppn,
+        dest_block: BlockId,
+        at: SimTime,
+    ) -> Result<(Ppn, SimTime), FlashOpError> {
+        let state = self.page_state(src)?;
+        if state == PageState::Free {
+            return Err(FlashOpError::State {
+                ppn: src,
+                expected: PageState::Valid,
+                actual: state,
+            });
+        }
+        self.check_block(dest_block)?;
+        let src_plane = self.geometry.plane_of_block(self.geometry.block_of(src));
+        if self.geometry.plane_of_block(dest_block) != src_plane {
+            return Err(FlashOpError::CrossPlaneCopyback { src, dest_block });
+        }
+        let cursor = self.blocks[dest_block.index() as usize].write_cursor;
+        if cursor >= self.geometry.pages_per_block() {
+            return Err(FlashOpError::BlockFull { block: dest_block });
+        }
+        let dest = Ppn::new(self.geometry.first_ppn_of(dest_block).index() + u64::from(cursor));
+
+        // State transition of the destination page, mirroring
+        // program_page but without touching the channel.
+        {
+            let block = &mut self.blocks[dest_block.index() as usize];
+            block.pages[cursor as usize] = PageState::Valid;
+            block.write_cursor += 1;
+            block.valid_count += 1;
+        }
+        let chip = self.geometry.chip_of(src) as usize;
+        let start = at.max(self.chip_busy_until[chip]);
+        let done = start + self.timing.read + self.timing.program;
+        self.chip_busy_until[chip] = done;
+        self.stats.reads.incr();
+        self.stats.programs.incr();
+        Ok((dest, done))
+    }
+
+    /// Erases a block, returning the completion time. All pages become
+    /// free and the block's wear count increments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is out of range or still holds
+    /// valid pages (relocate them first).
+    pub fn erase_block(&mut self, block: BlockId, at: SimTime) -> Result<SimTime, FlashOpError> {
+        self.check_block(block)?;
+        let b = &mut self.blocks[block.index() as usize];
+        if b.valid_count > 0 {
+            return Err(FlashOpError::BlockHasValidPages {
+                block,
+                valid_pages: b.valid_count,
+            });
+        }
+        b.erase();
+        let chip = self.geometry.chip_of(self.geometry.first_ppn_of(block)) as usize;
+        let start = at.max(self.chip_busy_until[chip]);
+        let done = start + self.timing.erase;
+        self.chip_busy_until[chip] = done;
+        self.stats.erases.incr();
+        Ok(done)
+    }
+
+    /// Earliest time the chip owning `ppn` is free — lets the FTL
+    /// estimate queueing before issuing.
+    pub fn chip_free_at(&self, ppn: Ppn) -> SimTime {
+        self.chip_busy_until[self.geometry.chip_of(ppn) as usize]
+    }
+
+    /// Forgets all busy times (used after preconditioning fills, so
+    /// warm-up programs do not delay the measured trace).
+    pub fn reset_time(&mut self) {
+        self.chip_busy_until.fill(SimTime::ZERO);
+        self.channel_busy_until.fill(SimTime::ZERO);
+    }
+
+    /// Zeroes the operation counters (used after preconditioning).
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
+    }
+
+    /// Iterates `(BlockId, BlockInfo)` over every block, for GC victim
+    /// scans.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, BlockInfo)> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i as u64), b.info()))
+    }
+
+    /// Total valid pages across the device.
+    pub fn total_valid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.valid_count)).sum()
+    }
+
+    /// Total invalid (zombie) pages across the device.
+    pub fn total_invalid_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.invalid_count)).sum()
+    }
+
+    /// Wear summary across all blocks (min/max/mean erase counts) —
+    /// the paper's lifetime argument is about total erases, but
+    /// *spread* matters for wear levelling.
+    pub fn wear_summary(&self) -> WearSummary {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for b in &self.blocks {
+            min = min.min(b.erase_count);
+            max = max.max(b.erase_count);
+            sum += b.erase_count;
+        }
+        WearSummary {
+            min_erases: if self.blocks.is_empty() { 0 } else { min },
+            max_erases: max,
+            mean_erases: if self.blocks.is_empty() {
+                0.0
+            } else {
+                sum as f64 / self.blocks.len() as f64
+            },
+        }
+    }
+}
+
+/// Distribution of block wear across the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSummary {
+    /// Fewest erases of any block.
+    pub min_erases: u64,
+    /// Most erases of any block.
+    pub max_erases: u64,
+    /// Mean erases per block.
+    pub mean_erases: f64,
+}
+
+impl WearSummary {
+    /// Max-to-mean wear imbalance; 1.0 is perfectly level. Returns 0
+    /// when nothing has been erased.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_erases == 0.0 {
+            0.0
+        } else {
+            self.max_erases as f64 / self.mean_erases
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zssd_types::SimDuration;
+
+    fn tiny() -> FlashArray {
+        let geom = Geometry::new(2, 1, 1, 1, 2, 4).expect("valid geometry");
+        FlashArray::new(geom, FlashTiming::paper_table1())
+    }
+
+    #[test]
+    fn program_then_read_round_trip_times() {
+        let mut flash = tiny();
+        let ppn = Ppn::new(0);
+        let t = FlashTiming::paper_table1();
+        let done = flash.program_page(ppn, SimTime::ZERO).expect("program");
+        assert_eq!(done, SimTime::ZERO + t.transfer + t.program);
+        let read_done = flash.read_page(ppn, SimTime::ZERO).expect("read");
+        // The read waits for the program to finish on the same chip.
+        assert_eq!(read_done, done + t.read + t.transfer);
+    }
+
+    #[test]
+    fn programs_on_different_channels_overlap() {
+        let mut flash = tiny();
+        let geom = *flash.geometry();
+        let a = geom.ppn_at(0, 0, 0, 0, 0, 0);
+        let b = geom.ppn_at(1, 0, 0, 0, 0, 0);
+        let da = flash.program_page(a, SimTime::ZERO).expect("program a");
+        let db = flash.program_page(b, SimTime::ZERO).expect("program b");
+        assert_eq!(da, db, "independent channels see identical latency");
+    }
+
+    #[test]
+    fn programs_on_same_chip_serialize() {
+        let mut flash = tiny();
+        let a = Ppn::new(0);
+        let b = Ppn::new(1);
+        let da = flash.program_page(a, SimTime::ZERO).expect("program a");
+        let db = flash.program_page(b, SimTime::ZERO).expect("program b");
+        assert!(db > da, "same-chip programs must queue");
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let mut flash = tiny();
+        let err = flash.program_page(Ppn::new(2), SimTime::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            FlashOpError::OutOfOrderProgram {
+                expected_offset: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut flash = tiny();
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        let err = flash.program_page(Ppn::new(0), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::State { .. }));
+    }
+
+    #[test]
+    fn invalidate_then_revive_counts_and_states() {
+        let mut flash = tiny();
+        let ppn = Ppn::new(0);
+        flash.program_page(ppn, SimTime::ZERO).expect("program");
+        flash.invalidate_page(ppn).expect("invalidate");
+        assert_eq!(flash.page_state(ppn).expect("state"), PageState::Invalid);
+        assert_eq!(flash.total_invalid_pages(), 1);
+        flash.revive_page(ppn).expect("revive");
+        assert_eq!(flash.page_state(ppn).expect("state"), PageState::Valid);
+        assert_eq!(flash.stats().revivals.get(), 1);
+        assert_eq!(flash.total_valid_pages(), 1);
+    }
+
+    #[test]
+    fn revive_requires_invalid() {
+        let mut flash = tiny();
+        let err = flash.revive_page(Ppn::new(0)).unwrap_err();
+        assert!(matches!(err, FlashOpError::State { .. }));
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages_and_bumps_wear() {
+        let mut flash = tiny();
+        let block = BlockId::new(0);
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        let err = flash.erase_block(block, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::BlockHasValidPages { .. }));
+        flash.invalidate_page(Ppn::new(0)).expect("invalidate");
+        // The erase queues behind the still-running program on the
+        // same chip.
+        let chip_free = flash.chip_free_at(Ppn::new(0));
+        let done = flash.erase_block(block, SimTime::ZERO).expect("erase");
+        assert_eq!(done, chip_free + SimDuration::from_micros(3800));
+        assert_eq!(flash.erase_count(block).expect("count"), 1);
+        assert_eq!(flash.free_pages_in(block).expect("free"), 4);
+        // Block can be programmed again from offset zero.
+        flash.program_page(Ppn::new(0), done).expect("reprogram");
+    }
+
+    #[test]
+    fn program_next_walks_the_block() {
+        let mut flash = tiny();
+        let block = BlockId::new(1);
+        let mut last = SimTime::ZERO;
+        for expect in 4..8u64 {
+            let (ppn, done) = flash.program_next(block, last).expect("program");
+            assert_eq!(ppn.index(), expect);
+            last = done;
+        }
+        let err = flash.program_next(block, last).unwrap_err();
+        assert!(matches!(err, FlashOpError::BlockFull { .. }));
+    }
+
+    #[test]
+    fn reads_of_free_pages_rejected() {
+        let mut flash = tiny();
+        let err = flash.read_page(Ppn::new(0), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::State { .. }));
+    }
+
+    #[test]
+    fn out_of_range_is_address_error() {
+        let mut flash = tiny();
+        let bad = Ppn::new(flash.geometry().total_pages());
+        assert!(matches!(
+            flash.read_page(bad, SimTime::ZERO).unwrap_err(),
+            FlashOpError::Address(_)
+        ));
+        assert!(flash.block_info(BlockId::new(99)).is_err());
+    }
+
+    #[test]
+    fn stats_track_each_operation() {
+        let mut flash = tiny();
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        flash.read_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        flash.invalidate_page(Ppn::new(0)).expect("ok");
+        flash
+            .erase_block(BlockId::new(0), SimTime::ZERO)
+            .expect("ok");
+        let s = flash.stats();
+        assert_eq!(
+            (
+                s.programs.get(),
+                s.reads.get(),
+                s.invalidations.get(),
+                s.erases.get()
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn blocks_iterator_covers_device() {
+        let flash = tiny();
+        assert_eq!(
+            flash.blocks().count() as u64,
+            flash.geometry().total_blocks()
+        );
+    }
+
+    #[test]
+    fn copyback_moves_within_plane_without_channel() {
+        let geom = Geometry::new(1, 1, 1, 2, 2, 4).expect("valid geometry");
+        let mut flash = FlashArray::new(geom, FlashTiming::paper_table1());
+        let t = FlashTiming::paper_table1();
+        // Program page 0 of block 0 (plane 0), then copy it into
+        // block 1 (same plane).
+        let src = Ppn::new(0);
+        let done = flash.program_page(src, SimTime::ZERO).expect("program");
+        let (dest, cb_done) = flash
+            .copyback_page(src, BlockId::new(1), done)
+            .expect("copyback");
+        assert_eq!(geom.block_of(dest), BlockId::new(1));
+        assert_eq!(
+            cb_done,
+            done + t.read + t.program,
+            "tR + tPROG, no transfer"
+        );
+        assert_eq!(flash.page_state(dest).expect("state"), PageState::Valid);
+        // Source is untouched until the caller invalidates it.
+        assert_eq!(flash.page_state(src).expect("state"), PageState::Valid);
+        flash.invalidate_page(src).expect("invalidate");
+        // Cross-plane copyback is rejected (block 2 is plane 1).
+        let err = flash
+            .copyback_page(dest, BlockId::new(2), cb_done)
+            .unwrap_err();
+        assert!(matches!(err, FlashOpError::CrossPlaneCopyback { .. }));
+        // Copyback of a free page is rejected.
+        let err = flash
+            .copyback_page(Ppn::new(3), BlockId::new(1), cb_done)
+            .unwrap_err();
+        assert!(matches!(err, FlashOpError::State { .. }));
+    }
+
+    #[test]
+    fn copyback_fills_destination_sequentially() {
+        let geom = Geometry::new(1, 1, 1, 1, 2, 2).expect("valid geometry");
+        let mut flash = FlashArray::new(geom, FlashTiming::paper_table1());
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        flash.program_page(Ppn::new(1), SimTime::ZERO).expect("ok");
+        let (d1, _) = flash
+            .copyback_page(Ppn::new(0), BlockId::new(1), SimTime::ZERO)
+            .expect("copyback");
+        let (d2, _) = flash
+            .copyback_page(Ppn::new(1), BlockId::new(1), SimTime::ZERO)
+            .expect("copyback");
+        assert_eq!((d1.index(), d2.index()), (2, 3));
+        let err = flash
+            .copyback_page(Ppn::new(0), BlockId::new(1), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashOpError::BlockFull { .. }));
+    }
+
+    #[test]
+    fn wear_summary_tracks_erase_spread() {
+        let mut flash = tiny();
+        let fresh = flash.wear_summary();
+        assert_eq!((fresh.min_erases, fresh.max_erases), (0, 0));
+        assert_eq!(fresh.imbalance(), 0.0);
+        // Erase block 0 three times, block 1 once (4 blocks total).
+        for _ in 0..3 {
+            flash
+                .erase_block(BlockId::new(0), SimTime::ZERO)
+                .expect("erase");
+        }
+        flash
+            .erase_block(BlockId::new(1), SimTime::ZERO)
+            .expect("erase");
+        let worn = flash.wear_summary();
+        assert_eq!(worn.max_erases, 3);
+        assert_eq!(worn.min_erases, 0);
+        assert_eq!(worn.mean_erases, 1.0);
+        assert_eq!(worn.imbalance(), 3.0);
+    }
+
+    #[test]
+    fn reset_time_and_stats_clear_state() {
+        let mut flash = tiny();
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        assert!(flash.chip_free_at(Ppn::new(0)) > SimTime::ZERO);
+        flash.reset_time();
+        assert_eq!(flash.chip_free_at(Ppn::new(0)), SimTime::ZERO);
+        assert_eq!(flash.stats().programs.get(), 1);
+        flash.reset_stats();
+        assert_eq!(flash.stats().programs.get(), 0);
+        // Page states survive the resets.
+        assert_eq!(flash.page_state(Ppn::new(0)).expect("ok"), PageState::Valid);
+    }
+}

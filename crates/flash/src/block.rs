@@ -1,0 +1,131 @@
+//! Per-page and per-block state.
+
+use core::fmt;
+
+/// The life-cycle state of one physical page.
+///
+/// The paper's central move is the `Invalid → Valid` transition
+/// ("rebirth"): a garbage page whose content matches an incoming write
+/// is flipped back to valid instead of being erased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageState {
+    /// Erased and programmable.
+    #[default]
+    Free,
+    /// Holds live data referenced by the mapping table.
+    Valid,
+    /// Holds dead data (a garbage / "zombie" page) awaiting GC — or
+    /// revival.
+    Invalid,
+}
+
+impl fmt::Display for PageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageState::Free => "free",
+            PageState::Valid => "valid",
+            PageState::Invalid => "invalid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Mutable state of one erase block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Block {
+    pub(crate) pages: Vec<PageState>,
+    /// Next page offset that may be programmed (NAND programs pages of
+    /// a block strictly in order).
+    pub(crate) write_cursor: u32,
+    pub(crate) erase_count: u64,
+    pub(crate) valid_count: u32,
+    pub(crate) invalid_count: u32,
+}
+
+impl Block {
+    pub(crate) fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![PageState::Free; pages_per_block as usize],
+            write_cursor: 0,
+            erase_count: 0,
+            valid_count: 0,
+            invalid_count: 0,
+        }
+    }
+
+    pub(crate) fn free_count(&self) -> u32 {
+        self.pages.len() as u32 - self.write_cursor
+    }
+
+    pub(crate) fn erase(&mut self) {
+        self.pages.fill(PageState::Free);
+        self.write_cursor = 0;
+        self.valid_count = 0;
+        self.invalid_count = 0;
+        self.erase_count += 1;
+    }
+
+    pub(crate) fn info(&self) -> BlockInfo {
+        BlockInfo {
+            valid_pages: self.valid_count,
+            invalid_pages: self.invalid_count,
+            free_pages: self.free_count(),
+            erase_count: self.erase_count,
+        }
+    }
+}
+
+/// A read-only snapshot of a block's occupancy, consumed by GC victim
+/// selectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockInfo {
+    /// Pages holding live data.
+    pub valid_pages: u32,
+    /// Garbage pages (candidates for revival or erase).
+    pub invalid_pages: u32,
+    /// Pages still programmable.
+    pub free_pages: u32,
+    /// How many times this block has been erased (wear).
+    pub erase_count: u64,
+}
+
+impl BlockInfo {
+    /// Whether the block has been fully written (no free pages) — only
+    /// such blocks are sensible GC victims.
+    pub fn is_full(&self) -> bool {
+        self.free_pages == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_all_free() {
+        let b = Block::new(8);
+        assert_eq!(b.free_count(), 8);
+        assert_eq!(b.info().valid_pages, 0);
+        assert!(!b.info().is_full());
+    }
+
+    #[test]
+    fn erase_resets_everything_but_wear() {
+        let mut b = Block::new(4);
+        b.pages[0] = PageState::Valid;
+        b.pages[1] = PageState::Invalid;
+        b.write_cursor = 2;
+        b.valid_count = 1;
+        b.invalid_count = 1;
+        b.erase();
+        assert_eq!(b.free_count(), 4);
+        assert_eq!(b.erase_count, 1);
+        assert!(b.pages.iter().all(|&p| p == PageState::Free));
+    }
+
+    #[test]
+    fn page_state_default_and_display() {
+        assert_eq!(PageState::default(), PageState::Free);
+        assert_eq!(PageState::Invalid.to_string(), "invalid");
+    }
+}

@@ -1,0 +1,92 @@
+//! Flash operation latencies (Table I of the paper).
+
+use zssd_types::SimDuration;
+
+/// Latency parameters of the modeled NAND flash and controller.
+///
+/// Defaults come from Table I: "Read Latency = 75 µs, Program Latency =
+/// 400 µs, Erase Latency = 3.8 ms", channels "work on ONFi 4.0", and
+/// "the overhead of hash calculation is 12 µs".
+///
+/// # Examples
+///
+/// ```
+/// use zssd_flash::FlashTiming;
+/// use zssd_types::SimDuration;
+///
+/// let t = FlashTiming::paper_table1();
+/// assert_eq!(t.read, SimDuration::from_micros(75));
+/// assert_eq!(t.program, SimDuration::from_micros(400));
+/// assert_eq!(t.erase, SimDuration::from_micros(3800));
+/// assert_eq!(t.hash, SimDuration::from_micros(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashTiming {
+    /// Page read (cell sense) latency, `tR`.
+    pub read: SimDuration,
+    /// Page program latency, `tPROG`.
+    pub program: SimDuration,
+    /// Block erase latency, `tBERS`.
+    pub erase: SimDuration,
+    /// Time to move one 4 KB page across the channel. ONFi 4.0 NV-DDR3
+    /// at 800 MT/s moves 4 KB in ~5 µs.
+    pub transfer: SimDuration,
+    /// Controller hash-engine latency per 4 KB chunk (paper: 12 µs,
+    /// citing Helion hashing cores). Charged on the write path of any
+    /// content-aware system (DVP, Dedup).
+    pub hash: SimDuration,
+}
+
+impl FlashTiming {
+    /// The configuration of Table I.
+    pub const fn paper_table1() -> Self {
+        FlashTiming {
+            read: SimDuration::from_micros(75),
+            program: SimDuration::from_micros(400),
+            erase: SimDuration::from_micros(3800),
+            transfer: SimDuration::from_micros(5),
+            hash: SimDuration::from_micros(12),
+        }
+    }
+
+    /// Returns a copy with a different hash latency (used by the
+    /// hash-latency sensitivity ablation).
+    pub const fn with_hash(mut self, hash: SimDuration) -> Self {
+        self.hash = hash;
+        self
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        FlashTiming::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_are_asymmetric() {
+        let t = FlashTiming::paper_table1();
+        assert!(t.program > t.read, "writes are slower than reads");
+        assert!(t.erase > t.program, "erases are slower than writes");
+        // The paper notes writes are "almost 10-20 times longer" than
+        // reads once transfer overheads are folded in; raw tPROG/tR
+        // here is 5.3x with the rest coming from queueing.
+        assert!(t.program.as_nanos() >= 5 * t.read.as_nanos());
+    }
+
+    #[test]
+    fn with_hash_overrides_only_hash() {
+        let t = FlashTiming::paper_table1().with_hash(SimDuration::ZERO);
+        assert_eq!(t.hash, SimDuration::ZERO);
+        assert_eq!(t.read, FlashTiming::paper_table1().read);
+    }
+
+    #[test]
+    fn default_is_paper_config() {
+        assert_eq!(FlashTiming::default(), FlashTiming::paper_table1());
+    }
+}

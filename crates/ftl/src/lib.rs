@@ -1,0 +1,62 @@
+//! The flash translation layer and full-device model of `zombie-ssd`.
+//!
+//! This crate assembles the substrates into the device the paper
+//! simulates (a modified SSDSim):
+//!
+//! * [`MappingTable`] — page-level LPN→PPN map carrying the paper's
+//!   1-byte popularity counter per logical page (§IV-C, Fig 8),
+//! * [`Allocator`] — striped active-block allocation across planes
+//!   with per-plane free lists,
+//! * [`GcPolicy`] / [`GreedyGc`] / [`PopularityAwareGc`] — victim
+//!   selection, including the paper's popularity-aware selector that
+//!   delays erasing blocks holding popular garbage (§IV-D),
+//! * [`Ssd`] — the device: write/read service paths wiring the
+//!   dead-value pool ([`zssd_core`]) and optional deduplication
+//!   ([`zssd_dedup`]) into the FTL, garbage collection, and latency
+//!   accounting on the [`zssd_flash`] timing model,
+//! * [`SsdConfig`] — a builder with Table I defaults and scaled-down
+//!   presets for experiments,
+//! * [`RunReport`] — everything the paper's figures report: write /
+//!   erase counts and mean / p99 latencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use zssd_core::SystemKind;
+//! use zssd_ftl::{Ssd, SsdConfig};
+//! use zssd_trace::{SyntheticTrace, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::mail().scaled(0.005);
+//! let trace = SyntheticTrace::generate(&profile, 1);
+//!
+//! let baseline = Ssd::new(SsdConfig::for_footprint(profile.lpn_space))?
+//!     .run_trace(trace.records())?;
+//! let dvp = Ssd::new(
+//!     SsdConfig::for_footprint(profile.lpn_space)
+//!         .with_system(SystemKind::MqDvp { entries: 4096 }),
+//! )?
+//! .run_trace(trace.records())?;
+//!
+//! // Mail is redundant: recycling zombies must eliminate programs.
+//! assert!(dvp.flash_programs < baseline.flash_programs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocator;
+mod config;
+mod error;
+mod gc;
+mod mapping;
+mod ssd;
+mod stats;
+
+pub use allocator::Allocator;
+pub use config::SsdConfig;
+pub use error::SsdError;
+pub use gc::{GcPolicy, GreedyGc, PopularityAwareGc};
+pub use mapping::MappingTable;
+pub use ssd::Ssd;
+pub use stats::{RunReport, SsdStats};

@@ -1,0 +1,842 @@
+//! The simulated SSD: write/read service, zombie revival, dedup, GC.
+
+use std::collections::HashMap;
+
+use zssd_core::{
+    AdaptiveConfig, AdaptiveMqPool, DeadValuePool, IdealPool, LruDeadValuePool, LxSsdConfig,
+    LxSsdPool, MqDeadValuePool, NoPool, PoolStats, SystemKind,
+};
+use zssd_dedup::DedupStore;
+use zssd_flash::{FlashArray, PageState};
+use zssd_trace::{initial_value_of, IoOp, TraceRecord};
+use zssd_types::{Fingerprint, Lpn, Ppn, SimTime, ValueId, WriteClock};
+
+use crate::config::SsdConfig;
+use crate::error::SsdError;
+use crate::gc::{GcPolicy, GreedyGc, PopularityAwareGc};
+use crate::mapping::MappingTable;
+use crate::stats::{RunReport, SsdStats};
+use crate::Allocator;
+
+/// What the controller knows about the data in one physical page:
+/// its content identity and the logical pages referencing it (empty
+/// for garbage pages — kept so revival and GC know the content).
+#[derive(Debug, Clone)]
+struct PhysPage {
+    fp: Fingerprint,
+    value: ValueId,
+    owners: Vec<Lpn>,
+}
+
+/// A simulated SSD assembled per [`SystemKind`]: flash array, mapping
+/// table, allocator, GC policy, dead-value pool, and (optionally) the
+/// dedup index.
+///
+/// Drive it with [`Ssd::run_trace`] for whole-trace experiments, or
+/// with [`Ssd::write`] / [`Ssd::read`] for fine-grained control.
+///
+/// # Examples
+///
+/// ```
+/// use zssd_core::SystemKind;
+/// use zssd_ftl::{Ssd, SsdConfig};
+/// use zssd_types::{Lpn, SimTime, ValueId};
+///
+/// let config = SsdConfig::small_test()
+///     .without_precondition()
+///     .with_system(SystemKind::MqDvp { entries: 64 });
+/// let mut ssd = Ssd::new(config)?;
+///
+/// // Write value 7, kill it by overwriting, then rewrite it: the
+/// // third write revives the zombie page instead of programming.
+/// ssd.write(Lpn::new(0), ValueId::new(7), SimTime::ZERO)?;
+/// ssd.write(Lpn::new(0), ValueId::new(8), SimTime::ZERO)?;
+/// ssd.write(Lpn::new(1), ValueId::new(7), SimTime::ZERO)?;
+/// assert_eq!(ssd.stats().revived_writes, 1);
+/// assert_eq!(ssd.stats().host_programs, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Ssd {
+    config: SsdConfig,
+    flash: FlashArray,
+    mapping: MappingTable,
+    allocator: Allocator,
+    gc: Box<dyn GcPolicy>,
+    pool: Box<dyn DeadValuePool>,
+    dedup: Option<DedupStore>,
+    rmap: HashMap<Ppn, PhysPage>,
+    clock: WriteClock,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Builds a drive from a configuration, running the preconditioning
+    /// fill if the config asks for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is inconsistent (see
+    /// [`SsdConfig::validate`]) or preconditioning runs out of space.
+    pub fn new(config: SsdConfig) -> Result<Self, SsdError> {
+        config.validate()?;
+        let pool: Box<dyn DeadValuePool> = match config.system {
+            SystemKind::Baseline | SystemKind::Dedup => Box::new(NoPool::new()),
+            SystemKind::MqDvp { entries } | SystemKind::DvpPlusDedup { entries } => {
+                Box::new(MqDeadValuePool::new(config.mq.with_capacity(entries)))
+            }
+            SystemKind::LruDvp { entries } => Box::new(LruDeadValuePool::new(entries)),
+            SystemKind::Ideal => Box::new(IdealPool::new()),
+            SystemKind::LxSsd { entries } => Box::new(LxSsdPool::new(
+                LxSsdConfig::paper_default().with_capacity(entries),
+            )),
+            SystemKind::AdaptiveDvp {
+                min_entries,
+                max_entries,
+            } => Box::new(AdaptiveMqPool::new(AdaptiveConfig {
+                min_entries,
+                max_entries,
+                initial_entries: min_entries.midpoint(max_entries),
+                ..AdaptiveConfig::paper_default()
+            })),
+        };
+        let dedup = config
+            .system
+            .uses_dedup()
+            .then(|| DedupStore::with_index_capacity(config.dedup_index_entries));
+        let gc: Box<dyn GcPolicy> = if config.popularity_aware_gc && config.system.uses_pool() {
+            Box::new(PopularityAwareGc::new(config.gc_popularity_weight))
+        } else {
+            Box::new(GreedyGc::new())
+        };
+        let mut ssd = Ssd {
+            flash: FlashArray::new(config.geometry, config.timing),
+            mapping: MappingTable::new(config.logical_pages),
+            allocator: Allocator::new(&config.geometry),
+            gc,
+            pool,
+            dedup,
+            rmap: HashMap::new(),
+            clock: WriteClock::ZERO,
+            stats: SsdStats::new(),
+            config,
+        };
+        if ssd.config.precondition {
+            ssd.precondition()?;
+        }
+        Ok(ssd)
+    }
+
+    /// The configuration this drive was built with.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The underlying flash array (page states, wear, counters).
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Dead-value-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Current number of entries in the dead-value pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// The paper's logical clock (number of host writes issued).
+    pub fn write_clock(&self) -> WriteClock {
+        self.clock
+    }
+
+    /// Fills every logical page with unique pre-trace content, then
+    /// resets timing and counters so the measured run starts on a warm,
+    /// quiet drive.
+    fn precondition(&mut self) -> Result<(), SsdError> {
+        for lpn in 0..self.config.logical_pages {
+            let lpn = Lpn::new(lpn);
+            let value = initial_value_of(lpn);
+            let fp = Fingerprint::of_value(value);
+            let (ppn, _) = self.program_host_page(SimTime::ZERO)?;
+            self.rmap.insert(
+                ppn,
+                PhysPage {
+                    fp,
+                    value,
+                    owners: vec![lpn],
+                },
+            );
+            self.mapping.update(lpn, ppn)?;
+            if let Some(dedup) = self.dedup.as_mut() {
+                dedup.register(fp, ppn)?;
+            }
+        }
+        self.flash.reset_time();
+        self.flash.reset_stats();
+        self.stats = SsdStats::new();
+        Ok(())
+    }
+
+    /// Services one host write of `value` to `lpn` arriving at
+    /// `arrival`, returning the completion time.
+    ///
+    /// The §IV-C order: hash, dead-value-pool lookup (hit ⇒ revive a
+    /// zombie page, no program), then dedup (hit ⇒ share the live
+    /// copy), then a normal program; the overwritten content dies into
+    /// the pool. GC runs when the written plane drops below the
+    /// free-block watermark.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lpn` is beyond the logical capacity or the
+    /// drive is over-committed.
+    pub fn write(
+        &mut self,
+        lpn: Lpn,
+        value: ValueId,
+        arrival: SimTime,
+    ) -> Result<SimTime, SsdError> {
+        self.mapping.lookup(lpn)?; // address check up front
+        let now = self.clock.tick();
+        self.stats.host_writes += 1;
+        let fp = Fingerprint::of_value(value);
+        let mut t = arrival;
+        if self.config.system.uses_hashing() {
+            t += self.flash.timing().hash;
+        }
+        self.mapping.bump_popularity(lpn)?;
+
+        // 1. Dead-value-pool lookup (§IV-C "Writes").
+        if let Some(zombie) = self.pool.take_match(fp, now) {
+            debug_assert_eq!(
+                self.flash.page_state(zombie).ok(),
+                Some(PageState::Invalid),
+                "pool must only track garbage pages"
+            );
+            self.kill_current(lpn, now)?;
+            self.flash.revive_page(zombie)?;
+            let page = self
+                .rmap
+                .get_mut(&zombie)
+                .expect("tracked garbage pages keep their physical-page record");
+            debug_assert!(page.owners.is_empty());
+            debug_assert_eq!(page.fp, fp);
+            page.owners.push(lpn);
+            self.mapping.update(lpn, zombie)?;
+            if let Some(dedup) = self.dedup.as_mut() {
+                dedup.register(fp, zombie)?;
+            }
+            self.stats.revived_writes += 1;
+            self.record_write_latency(arrival, t);
+            return Ok(t);
+        }
+
+        // 2. Deduplication against live copies.
+        if let Some(dedup) = self.dedup.as_mut() {
+            if let Some(shared) = dedup.reference(fp) {
+                let old = self.mapping.lookup(lpn)?;
+                if old == Some(shared) {
+                    // Same content rewritten in place: drop the extra
+                    // reference we just took; nothing changes.
+                    dedup.release(shared)?;
+                } else {
+                    self.kill_current(lpn, now)?;
+                    self.mapping.update(lpn, shared)?;
+                    self.rmap
+                        .get_mut(&shared)
+                        .expect("live pages have physical-page records")
+                        .owners
+                        .push(lpn);
+                }
+                self.stats.deduped_writes += 1;
+                self.record_write_latency(arrival, t);
+                return Ok(t);
+            }
+        }
+
+        // 3. Normal out-of-place program.
+        self.kill_current(lpn, now)?;
+        let (ppn, done) = self.program_host_page(t)?;
+        self.stats.host_programs += 1;
+        self.rmap.insert(
+            ppn,
+            PhysPage {
+                fp,
+                value,
+                owners: vec![lpn],
+            },
+        );
+        self.mapping.update(lpn, ppn)?;
+        if let Some(dedup) = self.dedup.as_mut() {
+            dedup.register(fp, ppn)?;
+        }
+        let plane = self
+            .config
+            .geometry
+            .plane_of_block(self.config.geometry.block_of(ppn));
+        self.maybe_gc(plane, done)?;
+        self.record_write_latency(arrival, done);
+        Ok(done)
+    }
+
+    /// Services one host read of `lpn` arriving at `arrival`,
+    /// returning `(content, completion time)`. Unmapped pages return
+    /// their pre-trace content at controller speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lpn` is beyond the logical capacity.
+    pub fn read(&mut self, lpn: Lpn, arrival: SimTime) -> Result<(ValueId, SimTime), SsdError> {
+        self.stats.host_reads += 1;
+        // LX-SSD refreshes garbage recency on reads (the behaviour the
+        // paper critiques); other pools ignore this.
+        self.pool.note_lpn_access(lpn, self.clock);
+        let done;
+        let value;
+        match self.mapping.lookup(lpn)? {
+            Some(ppn) => {
+                done = self.flash.read_page(ppn, arrival)?;
+                value = self
+                    .rmap
+                    .get(&ppn)
+                    .expect("mapped pages have physical-page records")
+                    .value;
+            }
+            None => {
+                done = arrival + self.flash.timing().transfer;
+                value = initial_value_of(lpn);
+            }
+        }
+        let latency = done.saturating_since(arrival);
+        self.stats.read_latency.record(latency);
+        self.stats.timeline.record(arrival, latency);
+        Ok((value, done))
+    }
+
+    /// Services a host TRIM/discard of `lpn`: the logical page is
+    /// unmapped and its content dies (entering the dead-value pool —
+    /// trimmed content is garbage like any other, and may still be
+    /// revived by a later write of the same data).
+    ///
+    /// TRIM is a mapping-table operation; it completes immediately and
+    /// records no latency sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lpn` is beyond the logical capacity.
+    pub fn trim(&mut self, lpn: Lpn) -> Result<(), SsdError> {
+        self.mapping.lookup(lpn)?;
+        let now = self.clock;
+        self.kill_current(lpn, now)?;
+        self.mapping.unmap(lpn)?;
+        self.stats.trims += 1;
+        Ok(())
+    }
+
+    /// Replays a whole trace with the configured inter-arrival gap and
+    /// produces the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first failed request.
+    pub fn run_trace(mut self, records: &[TraceRecord]) -> Result<RunReport, SsdError> {
+        let interval = self.config.arrival_interval;
+        for (i, record) in records.iter().enumerate() {
+            let arrival = SimTime::ZERO + interval.mul(i as u64);
+            match record.op {
+                IoOp::Write => {
+                    self.write(record.lpn, record.value, arrival)?;
+                }
+                IoOp::Read => {
+                    self.read(record.lpn, arrival)?;
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    /// Finalizes this drive into a [`RunReport`].
+    pub fn into_report(mut self) -> RunReport {
+        let flash = self.flash.stats();
+        let mut all = self.stats.write_latency.clone();
+        all.merge(&self.stats.read_latency);
+        RunReport {
+            system: self.config.system,
+            host_writes: self.stats.host_writes,
+            host_reads: self.stats.host_reads,
+            flash_programs: flash.programs.get(),
+            host_programs: self.stats.host_programs,
+            gc_programs: self.stats.gc_programs,
+            flash_reads: flash.reads.get(),
+            erases: flash.erases.get(),
+            revived_writes: self.stats.revived_writes,
+            deduped_writes: self.stats.deduped_writes,
+            gc_collections: self.stats.gc_collections,
+            pool: self.pool.stats(),
+            dedup: self.dedup.as_ref().map(|d| d.stats()),
+            wear: self.flash.wear_summary(),
+            timeline: self.stats.timeline.clone(),
+            write_latency: self.stats.write_latency.summary(),
+            read_latency: self.stats.read_latency.summary(),
+            all_latency: all.summary(),
+        }
+    }
+
+    fn record_write_latency(&mut self, arrival: SimTime, done: SimTime) {
+        let latency = done.saturating_since(arrival);
+        self.stats.write_latency.record(latency);
+        self.stats.timeline.record(arrival, latency);
+    }
+
+    /// Kills the content currently mapped at `lpn` (if any): releases
+    /// the dedup reference, invalidates the physical page when its
+    /// last reference drops, and offers the fresh zombie to the pool
+    /// (§IV-C "Updates").
+    fn kill_current(&mut self, lpn: Lpn, now: WriteClock) -> Result<(), SsdError> {
+        let Some(old) = self.mapping.lookup(lpn)? else {
+            return Ok(());
+        };
+        let pop = self.mapping.popularity(lpn)?;
+        if let Some(dedup) = self.dedup.as_mut() {
+            let release = dedup.release(old)?;
+            let page = self
+                .rmap
+                .get_mut(&old)
+                .expect("live pages have physical-page records");
+            page.owners.retain(|&l| l != lpn);
+            if release.remaining == 0 {
+                debug_assert!(page.owners.is_empty());
+                self.flash.invalidate_page(old)?;
+                self.pool
+                    .insert_dead(release.fingerprint, old, lpn, pop, now);
+            }
+        } else {
+            let page = self
+                .rmap
+                .get_mut(&old)
+                .expect("live pages have physical-page records");
+            page.owners.clear();
+            let fp = page.fp;
+            self.flash.invalidate_page(old)?;
+            self.pool.insert_dead(fp, old, lpn, pop, now);
+        }
+        Ok(())
+    }
+
+    /// Programs the next page of the striped host stream at time `t`.
+    fn program_host_page(&mut self, t: SimTime) -> Result<(Ppn, SimTime), SsdError> {
+        let plane = self.allocator.next_plane();
+        let block = self.allocator.take_active(plane, &self.flash)?;
+        let (ppn, done) = self.flash.program_next(block, t)?;
+        Ok((ppn, done))
+    }
+
+    /// Runs GC on `plane` until it is back above the free-block
+    /// watermark (or no block is reclaimable).
+    fn maybe_gc(&mut self, plane: u64, now: SimTime) -> Result<(), SsdError> {
+        let mut t = now;
+        while self.allocator.free_blocks_in(plane) < self.config.gc_low_watermark as usize {
+            let victim = self.gc.select_victim(
+                &self.flash,
+                plane,
+                self.allocator.active_block(plane),
+                self.pool.as_ref(),
+            );
+            match victim {
+                Some(victim) => t = self.collect_block(victim, plane, t, false)?,
+                None if self.allocator.free_blocks_in(plane) == 0 => {
+                    // No *full* block is reclaimable but the plane is
+                    // dry: the invalid pages are trapped in the active
+                    // block (or nowhere). Retire and reclaim whichever
+                    // block holds the most garbage, relocating its
+                    // valid pages cross-plane if need be; erase does
+                    // not require a full block — only programs are
+                    // sequential.
+                    let Some(victim) = self.emergency_victim(plane) else {
+                        return Err(SsdError::OutOfSpace { plane });
+                    };
+                    if self.allocator.active_block(plane) == Some(victim) {
+                        self.allocator.retire_active(plane);
+                    }
+                    t = self.collect_block(victim, plane, t, true)?;
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Last-resort victim: any block of the plane with invalid pages
+    /// (including the active block, which is retired first), fullest
+    /// of garbage first.
+    fn emergency_victim(&self, plane: u64) -> Option<zssd_flash::BlockId> {
+        let geometry = &self.config.geometry;
+        let bpp = u64::from(geometry.blocks_per_plane());
+        (plane * bpp..(plane + 1) * bpp)
+            .map(zssd_flash::BlockId::new)
+            .filter_map(|b| {
+                let info = self.flash.block_info(b).ok()?;
+                (info.invalid_pages > 0).then_some((b, info.invalid_pages))
+            })
+            .max_by_key(|&(_, invalid)| invalid)
+            .map(|(b, _)| b)
+    }
+
+    /// Relocates the victim's valid pages, drops its garbage from the
+    /// pool, erases it, and returns the erase completion time.
+    fn collect_block(
+        &mut self,
+        victim: zssd_flash::BlockId,
+        plane: u64,
+        now: SimTime,
+        emergency: bool,
+    ) -> Result<SimTime, SsdError> {
+        let geometry = self.config.geometry;
+        let mut t = now;
+        for ppn in geometry.pages_of(victim).collect::<Vec<_>>() {
+            match self.flash.page_state(ppn)? {
+                PageState::Valid => {
+                    // In-plane relocation uses the copyback advanced
+                    // command (tR + tPROG, no channel); the emergency
+                    // cross-plane path falls back to read + program.
+                    let (new_ppn, done) = if emergency {
+                        t = self.flash.read_page(ppn, t)?;
+                        let (_, dest_block) = self.allocator.take_active_any(&self.flash)?;
+                        self.flash.program_next(dest_block, t)?
+                    } else {
+                        let dest_block = self.allocator.take_active(plane, &self.flash)?;
+                        self.flash.copyback_page(ppn, dest_block, t)?
+                    };
+                    t = done;
+                    self.stats.gc_programs += 1;
+                    let page = self
+                        .rmap
+                        .remove(&ppn)
+                        .expect("valid pages have physical-page records");
+                    for &owner in &page.owners {
+                        self.mapping.update(owner, new_ppn)?;
+                    }
+                    if let Some(dedup) = self.dedup.as_mut() {
+                        if !page.owners.is_empty() {
+                            dedup.relocate(ppn, new_ppn)?;
+                        }
+                    }
+                    self.rmap.insert(new_ppn, page);
+                    self.flash.invalidate_page(ppn)?;
+                }
+                PageState::Invalid => {
+                    self.pool.remove_ppn(ppn);
+                    self.rmap.remove(&ppn);
+                }
+                PageState::Free => {}
+            }
+        }
+        let done = self.flash.erase_block(victim, t)?;
+        self.allocator.on_block_erased(&geometry, victim);
+        self.stats.gc_collections += 1;
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zssd_types::SimDuration;
+
+    fn ssd(system: SystemKind) -> Ssd {
+        Ssd::new(
+            SsdConfig::small_test()
+                .without_precondition()
+                .with_system(system),
+        )
+        .expect("valid test drive")
+    }
+
+    fn w(ssd: &mut Ssd, lpn: u64, value: u64) -> SimTime {
+        ssd.write(Lpn::new(lpn), ValueId::new(value), SimTime::ZERO)
+            .expect("write succeeds")
+    }
+
+    #[test]
+    fn baseline_programs_every_write() {
+        let mut s = ssd(SystemKind::Baseline);
+        for i in 0..10 {
+            w(&mut s, i % 4, 7); // same value over and over
+        }
+        assert_eq!(s.stats().host_programs, 10);
+        assert_eq!(s.stats().revived_writes, 0);
+        assert_eq!(s.stats().deduped_writes, 0);
+    }
+
+    #[test]
+    fn dvp_revives_zombie_pages() {
+        let mut s = ssd(SystemKind::MqDvp { entries: 64 });
+        w(&mut s, 0, 7); // create value 7
+        w(&mut s, 0, 8); // kill it -> zombie holding 7
+        w(&mut s, 1, 7); // rewrite 7 -> revival
+        assert_eq!(s.stats().revived_writes, 1);
+        assert_eq!(s.stats().host_programs, 2);
+        assert_eq!(s.pool_stats().hits, 1);
+        // The revived page serves reads with the right content.
+        let (value, _) = s.read(Lpn::new(1), SimTime::ZERO).expect("read");
+        assert_eq!(value, ValueId::new(7));
+    }
+
+    #[test]
+    fn revival_is_cheaper_than_programming() {
+        let mut s = ssd(SystemKind::MqDvp { entries: 64 });
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 8);
+        let done = s
+            .write(Lpn::new(1), ValueId::new(7), SimTime::ZERO)
+            .expect("write");
+        // A revival costs only the hash latency.
+        assert_eq!(
+            done.saturating_since(SimTime::ZERO),
+            SimDuration::from_micros(12)
+        );
+    }
+
+    #[test]
+    fn dedup_shares_live_copies() {
+        let mut s = ssd(SystemKind::Dedup);
+        w(&mut s, 0, 7);
+        w(&mut s, 1, 7); // deduped against the live copy
+        w(&mut s, 2, 7); // deduped again
+        assert_eq!(s.stats().host_programs, 1);
+        assert_eq!(s.stats().deduped_writes, 2);
+        let (v, _) = s.read(Lpn::new(2), SimTime::ZERO).expect("read");
+        assert_eq!(v, ValueId::new(7));
+    }
+
+    #[test]
+    fn dedup_death_only_at_last_reference() {
+        let mut s = ssd(SystemKind::DvpPlusDedup { entries: 64 });
+        w(&mut s, 0, 7);
+        w(&mut s, 1, 7); // refcount 2
+        w(&mut s, 0, 8); // refcount 1 -> no death
+        assert_eq!(s.flash().total_invalid_pages(), 0);
+        w(&mut s, 1, 9); // refcount 0 -> death, zombie enters pool
+        assert_eq!(s.flash().total_invalid_pages(), 1);
+        w(&mut s, 2, 7); // revival from the pool
+        assert_eq!(s.stats().revived_writes, 1);
+        // Value 7 is live again; a new copy dedups against it (the
+        // earlier w(1, 7) was the first dedup hit).
+        w(&mut s, 3, 7);
+        assert_eq!(s.stats().deduped_writes, 2);
+    }
+
+    #[test]
+    fn same_content_overwrite_under_dedup_is_noop() {
+        let mut s = ssd(SystemKind::Dedup);
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 7); // rewrite identical content in place
+        assert_eq!(s.stats().host_programs, 1);
+        assert_eq!(s.stats().deduped_writes, 1);
+        assert_eq!(s.flash().total_invalid_pages(), 0);
+    }
+
+    #[test]
+    fn overwrites_create_zombies_and_gc_reclaims() {
+        let mut s = ssd(SystemKind::Baseline);
+        // 256 physical pages, 192 logical; hammer a few pages until GC
+        // must run.
+        for i in 0..400u64 {
+            w(&mut s, i % 8, 1000 + i);
+        }
+        let report = s.into_report();
+        assert!(report.erases > 0, "GC must have reclaimed blocks");
+        assert_eq!(report.host_programs, 400);
+        assert!(report.gc_programs < 400);
+    }
+
+    #[test]
+    fn reads_of_unmapped_pages_return_initial_content() {
+        let mut s = ssd(SystemKind::Baseline);
+        let (v, done) = s.read(Lpn::new(5), SimTime::ZERO).expect("read");
+        assert_eq!(v, initial_value_of(Lpn::new(5)));
+        assert_eq!(
+            done.saturating_since(SimTime::ZERO),
+            SimDuration::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn preconditioned_drive_serves_reads_from_flash() {
+        let mut s = Ssd::new(SsdConfig::small_test()).expect("drive");
+        let (v, done) = s.read(Lpn::new(3), SimTime::ZERO).expect("read");
+        assert_eq!(v, initial_value_of(Lpn::new(3)));
+        // A real flash read: sense + transfer.
+        assert_eq!(
+            done.saturating_since(SimTime::ZERO),
+            SimDuration::from_micros(80)
+        );
+        // Warm-up left no residue in the counters.
+        assert_eq!(s.stats().host_writes, 0);
+        assert_eq!(s.flash().stats().programs.get(), 0);
+    }
+
+    #[test]
+    fn run_trace_produces_report() {
+        let records = vec![
+            TraceRecord::write(0, Lpn::new(0), ValueId::new(1)),
+            TraceRecord::write(1, Lpn::new(0), ValueId::new(2)),
+            TraceRecord::read(2, Lpn::new(0), ValueId::new(2)),
+            TraceRecord::write(3, Lpn::new(1), ValueId::new(1)),
+        ];
+        let report = Ssd::new(
+            SsdConfig::small_test()
+                .without_precondition()
+                .with_system(SystemKind::MqDvp { entries: 16 }),
+        )
+        .expect("drive")
+        .run_trace(&records)
+        .expect("run");
+        assert_eq!(report.host_writes, 3);
+        assert_eq!(report.host_reads, 1);
+        assert_eq!(report.revived_writes, 1);
+        assert_eq!(report.all_latency.count, 4);
+    }
+
+    #[test]
+    fn ideal_pool_never_evicts_tracked_zombies() {
+        let mut s = ssd(SystemKind::Ideal);
+        for i in 0..20u64 {
+            w(&mut s, i % 8, i); // many distinct deaths
+        }
+        assert_eq!(s.pool_stats().evictions, 0);
+    }
+
+    #[test]
+    fn lxssd_system_constructs_and_recycles() {
+        let mut s = ssd(SystemKind::LxSsd { entries: 64 });
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 8);
+        w(&mut s, 1, 7);
+        assert_eq!(s.stats().revived_writes, 1);
+    }
+
+    #[test]
+    fn out_of_range_lpn_is_an_error() {
+        let mut s = ssd(SystemKind::Baseline);
+        assert!(s
+            .write(Lpn::new(100_000), ValueId::new(1), SimTime::ZERO)
+            .is_err());
+        assert!(s.read(Lpn::new(100_000), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn write_clock_counts_host_writes() {
+        let mut s = ssd(SystemKind::Baseline);
+        w(&mut s, 0, 1);
+        w(&mut s, 1, 2);
+        s.read(Lpn::new(0), SimTime::ZERO).expect("read");
+        assert_eq!(s.write_clock().count(), 2);
+    }
+
+    #[test]
+    fn gc_relocates_shared_dedup_pages_and_keeps_all_owners() {
+        // Three logical pages share one physical copy; hammer other
+        // addresses until GC relocates the shared page, then verify
+        // every owner still reads the shared content.
+        let mut s = ssd(SystemKind::Dedup);
+        for lpn in 0..3u64 {
+            w(&mut s, lpn, 7);
+        }
+        for i in 0..600u64 {
+            w(&mut s, 3 + (i % 5), 1000 + i);
+        }
+        let report_erases = s.flash().stats().erases.get();
+        assert!(report_erases > 0, "GC must have run");
+        for lpn in 0..3u64 {
+            let (v, _) = s.read(Lpn::new(lpn), SimTime::ZERO).expect("read");
+            assert_eq!(v, ValueId::new(7), "shared copy intact at L{lpn}");
+        }
+    }
+
+    #[test]
+    fn revived_pages_survive_gc_relocation() {
+        let mut s = ssd(SystemKind::MqDvp { entries: 64 });
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 8); // 7 dies
+        w(&mut s, 1, 7); // revived
+        assert_eq!(s.stats().revived_writes, 1);
+        // Churn until GC relocates the revived page.
+        for i in 0..600u64 {
+            w(&mut s, 2 + (i % 6), 1000 + i);
+        }
+        assert!(s.flash().stats().erases.get() > 0);
+        let (v, _) = s.read(Lpn::new(1), SimTime::ZERO).expect("read");
+        assert_eq!(v, ValueId::new(7), "revived content survives GC moves");
+    }
+
+    #[test]
+    fn reads_refresh_lxssd_entries_through_the_device() {
+        // The Ssd wires read traffic into the pool notification hook;
+        // with LX-SSD that bumps the garbage entry popularity.
+        let mut s = ssd(SystemKind::LxSsd { entries: 64 });
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 8); // 7 dies at L0
+        let old_ppn = {
+            // Find the tracked garbage page via its weight.
+            let mut found = None;
+            for idx in 0..s.flash().geometry().total_pages() {
+                let ppn = Ppn::new(idx);
+                if s.pool.garbage_weight(ppn).is_some() {
+                    found = Some(ppn);
+                }
+            }
+            found.expect("one tracked zombie")
+        };
+        let before = s.pool.garbage_weight(old_ppn).expect("tracked");
+        s.read(Lpn::new(0), SimTime::ZERO).expect("read");
+        let after = s.pool.garbage_weight(old_ppn).expect("still tracked");
+        assert!(after > before, "a read must bump LX-SSD popularity");
+    }
+
+    #[test]
+    fn trim_of_unmapped_page_is_a_noop() {
+        let mut s = ssd(SystemKind::MqDvp { entries: 16 });
+        s.trim(Lpn::new(0)).expect("trim unmapped");
+        assert_eq!(s.stats().trims, 1);
+        assert_eq!(s.flash().total_invalid_pages(), 0);
+        assert!(s.trim(Lpn::new(100_000)).is_err(), "address checked");
+    }
+
+    #[test]
+    fn sustained_random_overwrites_stay_consistent() {
+        // Endurance smoke test across all systems: hammer random-ish
+        // addresses well past device turnover and verify read-back.
+        for system in [
+            SystemKind::Baseline,
+            SystemKind::MqDvp { entries: 32 },
+            SystemKind::LruDvp { entries: 32 },
+            SystemKind::Dedup,
+            SystemKind::DvpPlusDedup { entries: 32 },
+            SystemKind::Ideal,
+            SystemKind::LxSsd { entries: 32 },
+        ] {
+            let mut s = ssd(system);
+            let mut shadow = std::collections::HashMap::new();
+            for i in 0..2000u64 {
+                let lpn = (i * 37 + i / 13) % 192;
+                let value = (i * 31) % 23; // small value space -> reuse
+                s.write(Lpn::new(lpn), ValueId::new(value), SimTime::ZERO)
+                    .unwrap_or_else(|e| panic!("{system}: write {i} failed: {e}"));
+                shadow.insert(lpn, value);
+            }
+            for (&lpn, &value) in &shadow {
+                let (got, _) = s.read(Lpn::new(lpn), SimTime::ZERO).expect("read");
+                assert_eq!(got, ValueId::new(value), "{system}: content at L{lpn}");
+            }
+        }
+    }
+}

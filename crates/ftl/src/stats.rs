@@ -1,0 +1,198 @@
+//! Device statistics and the per-run report.
+
+use core::fmt;
+
+use zssd_core::{PoolStats, SystemKind};
+use zssd_dedup::DedupStats;
+use zssd_flash::WearSummary;
+use zssd_metrics::{LatencyRecorder, LatencySummary, Timeline};
+use zssd_types::SimDuration;
+
+/// Mutable counters accumulated while a trace runs.
+#[derive(Debug, Clone, Default)]
+pub struct SsdStats {
+    /// Host write requests serviced.
+    pub host_writes: u64,
+    /// Host read requests serviced.
+    pub host_reads: u64,
+    /// Host writes that caused a NAND program.
+    pub host_programs: u64,
+    /// NAND programs caused by GC relocation.
+    pub gc_programs: u64,
+    /// Host writes short-circuited by a dead-value-pool hit.
+    pub revived_writes: u64,
+    /// Host writes absorbed by deduplication (live-copy hits, plus
+    /// same-content overwrites of the same page).
+    pub deduped_writes: u64,
+    /// GC victim collections performed.
+    pub gc_collections: u64,
+    /// Host TRIM/discard commands serviced.
+    pub trims: u64,
+    /// Write latencies.
+    pub write_latency: LatencyRecorder,
+    /// Read latencies.
+    pub read_latency: LatencyRecorder,
+    /// Per-request latency over simulated time (episode analysis).
+    pub timeline: Timeline,
+}
+
+impl SsdStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SsdStats::default()
+    }
+}
+
+/// Everything the paper's evaluation figures need from one run.
+///
+/// Comparisons between runs use
+/// [`zssd_metrics::reduction_pct`]: e.g. Fig 9 plots
+/// `reduction_pct(baseline.flash_programs, dvp.flash_programs)`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The system configuration that produced this run.
+    pub system: SystemKind,
+    /// Host write requests serviced.
+    pub host_writes: u64,
+    /// Host read requests serviced.
+    pub host_reads: u64,
+    /// Total NAND programs (host + GC relocation) — the paper's
+    /// "number of writes" metric (Figs 9, 14).
+    pub flash_programs: u64,
+    /// NAND programs caused directly by host writes.
+    pub host_programs: u64,
+    /// NAND programs caused by GC relocation.
+    pub gc_programs: u64,
+    /// NAND reads (host + GC relocation).
+    pub flash_reads: u64,
+    /// Block erases — Fig 10's metric.
+    pub erases: u64,
+    /// Writes short-circuited by the dead-value pool.
+    pub revived_writes: u64,
+    /// Writes absorbed by deduplication.
+    pub deduped_writes: u64,
+    /// GC victim collections.
+    pub gc_collections: u64,
+    /// Dead-value-pool counters.
+    pub pool: PoolStats,
+    /// Dedup counters, when the system deduplicates.
+    pub dedup: Option<DedupStats>,
+    /// Block-wear distribution at the end of the run.
+    pub wear: WearSummary,
+    /// Per-request latency over simulated time (episode analysis).
+    pub timeline: Timeline,
+    /// Write-latency digest.
+    pub write_latency: LatencySummary,
+    /// Read-latency digest.
+    pub read_latency: LatencySummary,
+    /// Combined (read + write) latency digest — the paper's headline
+    /// latency numbers cover "across reads and write requests".
+    pub all_latency: LatencySummary,
+}
+
+impl RunReport {
+    /// Mean latency across all requests.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.all_latency.mean
+    }
+
+    /// 99th-percentile latency across all requests (the paper's tail).
+    pub fn tail_latency(&self) -> SimDuration {
+        self.all_latency.p99
+    }
+
+    /// Fraction of host writes that hit NAND (lower is better).
+    pub fn program_fraction(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.host_programs as f64 / self.host_writes as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} writes / {} reads",
+            self.system, self.host_writes, self.host_reads
+        )?;
+        writeln!(
+            f,
+            "  programs={} (host {} + gc {})  erases={}  revived={}  deduped={}",
+            self.flash_programs,
+            self.host_programs,
+            self.gc_programs,
+            self.erases,
+            self.revived_writes,
+            self.deduped_writes
+        )?;
+        writeln!(f, "  write latency: {}", self.write_latency)?;
+        writeln!(f, "  read  latency: {}", self.read_latency)?;
+        write!(f, "  all   latency: {}", self.all_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zssd_types::SimTime;
+
+    fn summary() -> LatencySummary {
+        let mut rec = LatencyRecorder::new();
+        rec.record(SimDuration::from_micros(10));
+        rec.summary()
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            system: SystemKind::Baseline,
+            host_writes: 100,
+            host_reads: 50,
+            flash_programs: 90,
+            host_programs: 80,
+            gc_programs: 10,
+            flash_reads: 60,
+            erases: 5,
+            revived_writes: 20,
+            deduped_writes: 0,
+            gc_collections: 5,
+            pool: PoolStats::default(),
+            dedup: None,
+            wear: WearSummary {
+                min_erases: 0,
+                max_erases: 0,
+                mean_erases: 0.0,
+            },
+            timeline: Timeline::new(),
+            write_latency: summary(),
+            read_latency: summary(),
+            all_latency: summary(),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = report();
+        assert_eq!(r.program_fraction(), 0.8);
+        assert_eq!(r.mean_latency(), SimDuration::from_micros(10));
+        assert_eq!(r.tail_latency(), SimDuration::from_micros(10));
+        let _ = SimTime::ZERO; // silence unused import lint paths
+    }
+
+    #[test]
+    fn display_contains_key_counters() {
+        let text = report().to_string();
+        assert!(text.contains("programs=90"));
+        assert!(text.contains("revived=20"));
+        assert!(text.contains("Baseline"));
+    }
+
+    #[test]
+    fn zero_writes_fraction_is_zero() {
+        let mut r = report();
+        r.host_writes = 0;
+        assert_eq!(r.program_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fixed-width integer histograms.
+
+use core::fmt;
+
+/// A histogram over `u64` samples with fixed-width buckets and an
+/// overflow bucket.
+///
+/// Used by the harness to render distribution figures as text (e.g. the
+/// per-popularity-degree miss breakdown of Fig 6).
+///
+/// # Examples
+///
+/// ```
+/// use zssd_metrics::Histogram;
+/// let mut h = Histogram::new(10, 5); // 5 buckets of width 10
+/// h.observe(3);
+/// h.observe(27);
+/// h.observe(999); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(2), 1);
+/// assert_eq!(h.overflow_count(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `buckets` is zero.
+    pub fn new(width: u64, buckets: usize) -> Self {
+        assert!(width > 0, "bucket width must be nonzero");
+        assert!(buckets > 0, "bucket count must be nonzero");
+        Histogram {
+            width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, sample: u64) {
+        let idx = (sample / self.width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += u128::from(sample);
+    }
+
+    /// Number of samples in bucket `idx` (covering
+    /// `[idx·width, (idx+1)·width)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of samples beyond the last bucket.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observed samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Number of buckets (excluding overflow).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` pairs, excluding overflow.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.width, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (lo, count) in self.iter() {
+            writeln!(f, "[{:>8}, {:>8}) {}", lo, lo + self.width, count)?;
+        }
+        write!(f, "overflow {}", self.overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_samples() {
+        let mut h = Histogram::new(5, 3);
+        for v in 0..15 {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_count(0), 5);
+        assert_eq!(h.bucket_count(1), 5);
+        assert_eq!(h.bucket_count(2), 5);
+        assert_eq!(h.overflow_count(), 0);
+        h.observe(15);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.total(), 16);
+    }
+
+    #[test]
+    fn mean_tracks_raw_samples() {
+        let mut h = Histogram::new(100, 2);
+        h.observe(10);
+        h.observe(30);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(Histogram::new(1, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_lower_bounds() {
+        let h = Histogram::new(4, 3);
+        let bounds: Vec<u64> = h.iter().map(|(lo, _)| lo).collect();
+        assert_eq!(bounds, vec![0, 4, 8]);
+        assert_eq!(h.num_buckets(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = Histogram::new(0, 1);
+    }
+
+    #[test]
+    fn display_lists_every_bucket() {
+        let mut h = Histogram::new(2, 2);
+        h.observe(1);
+        let text = h.to_string();
+        assert!(text.contains("overflow 0"));
+        assert!(text.lines().count() == 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Exact latency statistics.
+
+use core::fmt;
+
+use zssd_types::SimDuration;
+
+/// Records every request latency and answers exact mean / percentile
+/// queries.
+///
+/// The simulator runs bounded trace lengths (≤ a few million requests),
+/// so exact storage is cheap and avoids the bias of streaming sketches.
+/// Percentile queries sort lazily and cache the sorted order until the
+/// next insertion.
+///
+/// # Examples
+///
+/// ```
+/// use zssd_metrics::LatencyRecorder;
+/// use zssd_types::SimDuration;
+///
+/// let mut lat = LatencyRecorder::new();
+/// for us in 1..=100u64 {
+///     lat.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(lat.percentile(0.99).as_nanos(), 99_000);
+/// assert_eq!(lat.count(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sum: u128,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            samples: Vec::new(),
+            sum: 0,
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty recorder with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+            sum: 0,
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.sum += u128::from(latency.as_nanos());
+        if let Some(&last) = self.samples.last() {
+            if latency.as_nanos() < last {
+                self.sorted = false;
+            }
+        }
+        self.samples.push(latency.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean latency; zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact percentile via the nearest-rank method; zero when empty.
+    ///
+    /// `q` is a fraction in `[0, 1]`, e.g. `0.99` for the tail latency
+    /// the paper reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        SimDuration::from_nanos(self.samples[rank - 1])
+    }
+
+    /// Maximum recorded latency; zero when empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Snapshot of the headline statistics (count, mean, p50/p99/max).
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Merges all samples of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.sum += other.sum;
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A point-in-time digest of a [`LatencyRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 99th percentile (the paper's "tail latency").
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn empty_recorder_is_all_zero() {
+        let mut lat = LatencyRecorder::new();
+        assert!(lat.is_empty());
+        assert_eq!(lat.mean(), SimDuration::ZERO);
+        assert_eq!(lat.percentile(0.99), SimDuration::ZERO);
+        assert_eq!(lat.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_percentiles_exact() {
+        let mut lat = LatencyRecorder::with_capacity(4);
+        for v in [400, 100, 300, 200] {
+            lat.record(us(v));
+        }
+        assert_eq!(lat.mean(), us(250));
+        assert_eq!(lat.percentile(0.5), us(200));
+        assert_eq!(lat.percentile(1.0), us(400));
+        assert_eq!(lat.percentile(0.0), us(100));
+        assert_eq!(lat.max(), us(400));
+    }
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        let mut lat = LatencyRecorder::new();
+        for v in 1..=1000u64 {
+            lat.record(SimDuration::from_nanos(v));
+        }
+        assert_eq!(lat.percentile(0.99).as_nanos(), 990);
+    }
+
+    #[test]
+    fn interleaved_record_and_query_stay_consistent() {
+        let mut lat = LatencyRecorder::new();
+        lat.record(us(10));
+        lat.record(us(5));
+        assert_eq!(lat.percentile(1.0), us(10));
+        lat.record(us(1));
+        assert_eq!(lat.percentile(0.0), us(1));
+        assert_eq!(lat.count(), 3);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(us(1));
+        let mut b = LatencyRecorder::new();
+        b.record(us(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), us(2));
+    }
+
+    #[test]
+    fn summary_display_mentions_all_fields() {
+        let mut lat = LatencyRecorder::new();
+        lat.record(us(2));
+        let text = lat.summary().to_string();
+        assert!(text.contains("n=1") && text.contains("p99="));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_out_of_range() {
+        let mut lat = LatencyRecorder::new();
+        lat.record(us(1));
+        let _ = lat.percentile(1.5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Measurement utilities for the `zombie-ssd` simulator.
+//!
+//! The experiment harness reports exactly what the paper reports:
+//! request counts, erase counts, mean latency, and tail (99th
+//! percentile) latency, plus the CDF/share curves of the
+//! characterization section. This crate provides those primitives:
+//!
+//! * [`Counter`] — a monotone event counter,
+//! * [`LatencyRecorder`] — exact mean/percentile statistics over
+//!   recorded request latencies,
+//! * [`Histogram`] — fixed-width bucketing for distribution displays,
+//! * [`Cdf`] — empirical cumulative distribution over integer samples
+//!   (Fig 2-style "fraction of values with ≤ k invalidations"),
+//! * [`ShareCurve`] — Lorenz-style "top x% of values account for y% of
+//!   events" curves (Fig 3-style, values sorted by popularity).
+//!
+//! # Examples
+//!
+//! ```
+//! use zssd_metrics::LatencyRecorder;
+//! use zssd_types::SimDuration;
+//!
+//! let mut lat = LatencyRecorder::new();
+//! for us in [100u64, 200, 300, 400] {
+//!     lat.record(SimDuration::from_micros(us));
+//! }
+//! assert_eq!(lat.mean().as_nanos(), 250_000);
+//! assert_eq!(lat.percentile(0.99).as_nanos(), 400_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod counter;
+mod histogram;
+mod latency;
+mod share;
+mod timeline;
+
+pub use cdf::Cdf;
+pub use counter::{reduction_pct, Counter};
+pub use histogram::Histogram;
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use share::{ShareCurve, SharePoint};
+pub use timeline::{Timeline, WindowStat};

@@ -1,0 +1,338 @@
+//! The synthetic content-trace generator.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use zssd_types::{Lpn, ValueId};
+
+use crate::profile::WorkloadProfile;
+use crate::record::{initial_value_of, TraceRecord};
+use crate::zipf::ZipfSampler;
+
+/// Re-orders a multiset of value occurrences into a run-shuffled
+/// sequence: each value's `count` occurrences are split into runs of
+/// geometric length (mean `burst_len`), and the runs — not the
+/// individual occurrences — are placed in random order. `burst_len <=
+/// 1` degenerates to a plain uniform shuffle.
+fn burstify<R: rand::Rng + ?Sized>(values: Vec<u64>, burst_len: f64, rng: &mut R) -> Vec<u64> {
+    if burst_len <= 1.0 {
+        let mut values = values;
+        values.shuffle(rng);
+        return values;
+    }
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &v in &values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    // Deterministic iteration order (HashMap order varies run to run).
+    let mut counts: Vec<(u64, u64)> = counts.into_iter().collect();
+    counts.sort_unstable();
+    let continue_p = 1.0 - 1.0 / burst_len;
+    let mut runs: Vec<(u64, u32)> = Vec::new();
+    for (v, mut remaining) in counts {
+        while remaining > 0 {
+            let mut len = 1u32;
+            while u64::from(len) < remaining && rng.random::<f64>() < continue_p {
+                len += 1;
+            }
+            runs.push((v, len));
+            remaining -= u64::from(len);
+        }
+    }
+    runs.shuffle(rng);
+    let mut out = Vec::with_capacity(values.len());
+    for (v, len) in runs {
+        out.extend(std::iter::repeat_n(v, len as usize));
+    }
+    out
+}
+
+/// A generated multi-day content trace.
+///
+/// Generation (deterministic for a given profile + seed):
+///
+/// 1. The write/read interleaving is an exact-count random shuffle of
+///    `write_ratio · total` writes and the remaining reads.
+/// 2. Write **contents**: `unique_write_frac · writes` distinct values
+///    are each written once (their *creations*); every remaining write
+///    repeats an existing value drawn Zipf(`value_alpha`) by rank —
+///    this single knob produces the paper's skewed popularity,
+///    invalidation, and rebirth distributions (Figs 2–4).
+/// 3. Write **addresses** are drawn Zipf(`lpn_alpha`) through a random
+///    rank→LPN permutation, so hot addresses and hot values are
+///    independent. Overwriting an address kills the value copy it held.
+/// 4. Read addresses are drawn Zipf(`read_alpha`); the record carries
+///    the content currently held there (pre-trace addresses hold
+///    [`initial_value_of`] content).
+///
+/// # Examples
+///
+/// ```
+/// use zssd_trace::{SyntheticTrace, WorkloadProfile};
+/// let trace = SyntheticTrace::generate(&WorkloadProfile::web().scaled(0.01), 1);
+/// assert_eq!(trace.num_days(), 3);
+/// assert_eq!(trace.records().len(), trace.day(0).len() * 3);
+/// // Deterministic: same seed, same trace.
+/// let again = SyntheticTrace::generate(&WorkloadProfile::web().scaled(0.01), 1);
+/// assert_eq!(trace.records(), again.records());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTrace {
+    name: String,
+    records: Vec<TraceRecord>,
+    requests_per_day: usize,
+    days: u32,
+}
+
+impl SyntheticTrace {
+    /// Generates a trace from a profile, deterministically in `seed`.
+    pub fn generate(profile: &WorkloadProfile, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total = profile.total_requests() as usize;
+        let writes = ((total as f64) * profile.write_ratio).round() as usize;
+        let writes = writes.min(total);
+        let reads = total - writes;
+
+        // 1. Exact-count op interleaving.
+        let mut is_write: Vec<bool> = Vec::with_capacity(total);
+        is_write.extend(std::iter::repeat_n(true, writes));
+        is_write.extend(std::iter::repeat_n(false, reads));
+        is_write.shuffle(&mut rng);
+
+        // 2. Write contents: creations + Zipf-ranked repetitions.
+        let unique = (((writes as f64) * profile.unique_write_frac).round() as usize)
+            .clamp(1.min(writes), writes.max(1));
+        let mut values: Vec<u64> = Vec::with_capacity(writes);
+        values.extend(0..unique as u64);
+        if writes > unique {
+            let zipf = ZipfSampler::new(unique as u64, profile.value_alpha);
+            values.extend((0..writes - unique).map(|_| zipf.sample(&mut rng)));
+        }
+        // Burstify: group each value's occurrences into geometric runs
+        // and shuffle the *runs*, so a value's writes cluster in time
+        // and the value fully dies between bursts.
+        let values = burstify(values, profile.burst_len, &mut rng);
+
+        // 3/4. Address selection through a shuffled permutation.
+        let mut perm: Vec<u64> = (0..profile.lpn_space).collect();
+        perm.shuffle(&mut rng);
+        let write_addr = ZipfSampler::new(profile.lpn_space, profile.lpn_alpha);
+        let read_addr = ZipfSampler::new(profile.lpn_space, profile.read_alpha);
+
+        let mut content: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut records = Vec::with_capacity(total);
+        let mut next_value = 0usize;
+        // Each value's "home" address: a fixed pseudo-random spot in
+        // the footprint. With probability `home_affinity`, a write of
+        // a value lands there — modelling the real-trace correlation
+        // between content and address (the same file block rewritten
+        // with the same content).
+        let home_region = ((profile.lpn_space as f64 * profile.home_region_frac).round() as u64)
+            .clamp(1, profile.lpn_space);
+        let home_of = |value: u64| -> u64 {
+            let mut h = value ^ 0x517c_c1b7_2722_0a95;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            // Homes cluster in a hot region at the front of the
+            // (shuffled) address permutation, so recurring values
+            // overwrite each other and fully die between bursts.
+            perm[(h % home_region) as usize]
+        };
+        for (seq, w) in is_write.into_iter().enumerate() {
+            if w {
+                let value = ValueId::new(values[next_value]);
+                next_value += 1;
+                let raw_lpn = if rng.random::<f64>() < profile.home_affinity {
+                    home_of(value.raw())
+                } else {
+                    perm[write_addr.sample(&mut rng) as usize]
+                };
+                let lpn = Lpn::new(raw_lpn);
+                content.insert(lpn, value);
+                records.push(TraceRecord::write(seq as u64, lpn, value));
+            } else {
+                let lpn = Lpn::new(perm[read_addr.sample(&mut rng) as usize]);
+                let value = content
+                    .get(&lpn)
+                    .copied()
+                    .unwrap_or_else(|| initial_value_of(lpn));
+                records.push(TraceRecord::read(seq as u64, lpn, value));
+            }
+        }
+
+        SyntheticTrace {
+            name: profile.name.clone(),
+            records,
+            requests_per_day: profile.requests_per_day as usize,
+            days: profile.days,
+        }
+    }
+
+    /// Wraps externally produced records as a single-day trace (e.g.
+    /// records parsed from a text file).
+    pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        let len = records.len().max(1);
+        SyntheticTrace {
+            name: name.into(),
+            records,
+            requests_per_day: len,
+            days: 1,
+        }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All records, in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of days.
+    pub fn num_days(&self) -> u32 {
+        self.days
+    }
+
+    /// The records of day `i` (0-based). The paper's `m2` is
+    /// `mail.day(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_days()`.
+    pub fn day(&self, i: u32) -> &[TraceRecord] {
+        assert!(i < self.days, "day {i} out of range ({} days)", self.days);
+        let start = self.requests_per_day * i as usize;
+        let end = (start + self.requests_per_day).min(self.records.len());
+        &self.records[start..end]
+    }
+
+    /// Records of days `0..=i` — a trace prefix ending at day `i`,
+    /// matching how the paper's per-day points accumulate state.
+    pub fn through_day(&self, i: u32) -> &[TraceRecord] {
+        assert!(i < self.days, "day {i} out of range ({} days)", self.days);
+        let end = (self.requests_per_day * (i as usize + 1)).min(self.records.len());
+        &self.records[..end]
+    }
+
+    /// The day labels the paper uses in Figs 1 and 5: `m1`, `m2`, …
+    pub fn day_labels(&self) -> Vec<String> {
+        let initial = self.name.chars().next().unwrap_or('x');
+        (1..=self.days).map(|d| format!("{initial}{d}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::IoOp;
+    use crate::stats::TraceStats;
+
+    fn small(profile: WorkloadProfile) -> SyntheticTrace {
+        SyntheticTrace::generate(&profile.scaled(0.02), 7)
+    }
+
+    #[test]
+    fn request_counts_match_profile() {
+        let p = WorkloadProfile::web().scaled(0.02);
+        let t = SyntheticTrace::generate(&p, 3);
+        assert_eq!(t.records().len() as u64, p.total_requests());
+        let writes = t.records().iter().filter(|r| r.is_write()).count();
+        let expect = (p.total_requests() as f64 * p.write_ratio).round() as usize;
+        assert_eq!(writes, expect);
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense() {
+        let t = small(WorkloadProfile::trans());
+        for (i, r) in t.records().iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn unique_write_fraction_is_exact() {
+        let p = WorkloadProfile::mail().scaled(0.05);
+        let t = SyntheticTrace::generate(&p, 11);
+        let stats = TraceStats::measure(t.records());
+        let expect = p.unique_write_frac;
+        let got = stats.unique_write_frac();
+        assert!(
+            (got - expect).abs() < 0.01,
+            "unique write fraction {got} far from target {expect}"
+        );
+    }
+
+    #[test]
+    fn reads_observe_last_written_content() {
+        let t = small(WorkloadProfile::web());
+        let mut content: HashMap<Lpn, ValueId> = HashMap::new();
+        for r in t.records() {
+            match r.op {
+                IoOp::Write => {
+                    content.insert(r.lpn, r.value);
+                }
+                IoOp::Read => {
+                    let expect = content
+                        .get(&r.lpn)
+                        .copied()
+                        .unwrap_or_else(|| initial_value_of(r.lpn));
+                    assert_eq!(r.value, expect, "read at seq {}", r.seq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn days_partition_the_trace() {
+        let t = small(WorkloadProfile::home());
+        let mut reassembled = Vec::new();
+        for d in 0..t.num_days() {
+            reassembled.extend_from_slice(t.day(d));
+        }
+        assert_eq!(reassembled, t.records());
+        assert_eq!(t.through_day(1).len(), t.day(0).len() + t.day(1).len());
+    }
+
+    #[test]
+    fn day_labels_match_paper_notation() {
+        let t = small(WorkloadProfile::mail());
+        assert_eq!(t.day_labels(), vec!["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = WorkloadProfile::web().scaled(0.01);
+        let a = SyntheticTrace::generate(&p, 1);
+        let b = SyntheticTrace::generate(&p, 2);
+        assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let p = WorkloadProfile::desktop().scaled(0.02);
+        let t = SyntheticTrace::generate(&p, 5);
+        assert!(t.records().iter().all(|r| r.lpn.index() < p.lpn_space));
+    }
+
+    #[test]
+    fn from_records_wraps_single_day() {
+        let recs = vec![TraceRecord::write(0, Lpn::new(1), ValueId::new(2))];
+        let t = SyntheticTrace::from_records("custom", recs.clone());
+        assert_eq!(t.name(), "custom");
+        assert_eq!(t.num_days(), 1);
+        assert_eq!(t.day(0), &recs[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn day_out_of_range_panics() {
+        let t = small(WorkloadProfile::web());
+        let _ = t.day(99);
+    }
+}

@@ -1,0 +1,226 @@
+//! A line-oriented text trace format, FIU-style.
+//!
+//! One request per line: `<seq> <R|W> <lpn> <value> <fingerprint-hex>`.
+//! Lines starting with `#` are comments. The fingerprint column is
+//! redundant (derivable from the value id) but kept because the real
+//! FIU traces ship digests, and it makes files self-describing.
+
+use core::fmt;
+use std::error::Error;
+use std::io::{self, Write};
+
+use zssd_types::{Lpn, ValueId};
+
+use crate::record::{IoOp, TraceRecord};
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    message: String,
+}
+
+impl TraceParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        TraceParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+/// Writes records in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer. A `&mut Vec<u8>` or any
+/// `&mut W` where `W: Write` may be passed.
+pub fn write_text<W: Write>(records: &[TraceRecord], mut out: W) -> io::Result<()> {
+    writeln!(out, "# zombie-ssd trace: seq op lpn value fingerprint")?;
+    for r in records {
+        writeln!(
+            out,
+            "{} {} {} {} {}",
+            r.seq,
+            r.op,
+            r.lpn.index(),
+            r.value.raw(),
+            r.fingerprint()
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes records to a file in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors (file creation, writes).
+pub fn write_file<P: AsRef<std::path::Path>>(records: &[TraceRecord], path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = io::BufWriter::new(file);
+    write_text(records, &mut writer)?;
+    use std::io::Write as _;
+    writer.flush()
+}
+
+/// Reads records from a text-format trace file.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, or a boxed
+/// [`TraceParseError`] wrapped in [`io::Error`] for malformed content.
+pub fn read_file<P: AsRef<std::path::Path>>(path: P) -> io::Result<Vec<TraceRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parses the text format back into records.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] naming the first malformed line;
+/// comment (`#`) and blank lines are skipped.
+pub fn parse_text(input: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let seq: u64 = fields
+            .next()
+            .ok_or_else(|| TraceParseError::new(lineno, "missing seq"))?
+            .parse()
+            .map_err(|e| TraceParseError::new(lineno, format!("bad seq: {e}")))?;
+        let op = match fields.next() {
+            Some("R") => IoOp::Read,
+            Some("W") => IoOp::Write,
+            Some(other) => {
+                return Err(TraceParseError::new(
+                    lineno,
+                    format!("bad op {other:?}, expected R or W"),
+                ))
+            }
+            None => return Err(TraceParseError::new(lineno, "missing op")),
+        };
+        let lpn: u64 = fields
+            .next()
+            .ok_or_else(|| TraceParseError::new(lineno, "missing lpn"))?
+            .parse()
+            .map_err(|e| TraceParseError::new(lineno, format!("bad lpn: {e}")))?;
+        let value: u64 = fields
+            .next()
+            .ok_or_else(|| TraceParseError::new(lineno, "missing value"))?
+            .parse()
+            .map_err(|e| TraceParseError::new(lineno, format!("bad value: {e}")))?;
+        // The fingerprint column, when present, must agree.
+        if let Some(fp_hex) = fields.next() {
+            let expect = TraceRecord::write(0, Lpn::new(0), ValueId::new(value))
+                .fingerprint()
+                .to_string();
+            if fp_hex != expect {
+                return Err(TraceParseError::new(
+                    lineno,
+                    format!("fingerprint {fp_hex} does not match value {value}"),
+                ));
+            }
+        }
+        records.push(TraceRecord {
+            seq,
+            op,
+            lpn: Lpn::new(lpn),
+            value: ValueId::new(value),
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+    use crate::synth::SyntheticTrace;
+
+    #[test]
+    fn round_trips_a_generated_trace() {
+        let trace = SyntheticTrace::generate(&WorkloadProfile::web().scaled(0.003), 9);
+        let mut buf = Vec::new();
+        write_text(trace.records(), &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let parsed = parse_text(&text).expect("parse");
+        assert_eq!(parsed, trace.records());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let parsed = parse_text("# header\n\n0 W 5 7\n").expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].lpn, Lpn::new(5));
+        assert!(parsed[0].is_write());
+    }
+
+    #[test]
+    fn fingerprint_column_is_optional_but_checked() {
+        assert!(parse_text("0 R 1 2").is_ok());
+        let err = parse_text("0 R 1 2 deadbeef").unwrap_err();
+        assert!(err.to_string().contains("fingerprint"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = SyntheticTrace::generate(&WorkloadProfile::trans().scaled(0.002), 4);
+        let dir = std::env::temp_dir().join(format!("zssd-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trans.trace");
+        write_file(trace.records(), &path).expect("write file");
+        let parsed = read_file(&path).expect("read file");
+        assert_eq!(parsed, trace.records());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn read_file_surfaces_parse_errors() {
+        let dir = std::env::temp_dir().join(format!("zssd-trace-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "not a trace line\n").expect("write");
+        let err = read_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn malformed_lines_name_the_problem() {
+        assert!(parse_text("x W 1 2")
+            .unwrap_err()
+            .to_string()
+            .contains("seq"));
+        assert!(parse_text("0 Q 1 2")
+            .unwrap_err()
+            .to_string()
+            .contains("op"));
+        assert!(parse_text("0 W").unwrap_err().to_string().contains("lpn"));
+        assert!(parse_text("0 W 1")
+            .unwrap_err()
+            .to_string()
+            .contains("value"));
+        assert_eq!(parse_text("# only comments").expect("ok").len(), 0);
+    }
+}

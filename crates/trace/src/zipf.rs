@@ -1,0 +1,152 @@
+//! A Zipf(α) sampler over a finite rank space.
+//!
+//! Value popularity in the paper's traces is highly skewed ("around 20%
+//! of the values account for almost 80% of the writes", Fig 3a). A
+//! Zipf distribution with exponent near 1 reproduces that shape; the
+//! sampler here precomputes the cumulative weights once and draws by
+//! binary search, which is exact and fast for the rank counts the
+//! generator uses (≤ a few million).
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^alpha`. Rank 0 is the most popular.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use zssd_trace::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(100, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `alpha ≥ 0`.
+    /// `alpha = 0` is uniform; larger values are more skewed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative/non-finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "rank space must be nonempty");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be a finite non-negative number"
+        );
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+
+    /// Whether the rank space is empty (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent this sampler was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let total = *self.cumulative.last().expect("nonempty rank space");
+        let target = rng.random::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < target) as u64
+    }
+
+    /// Probability mass of a rank.
+    pub fn probability(&self, rank: u64) -> f64 {
+        let total = *self.cumulative.last().expect("nonempty rank space");
+        let hi = self.cumulative[rank as usize];
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank as usize - 1]
+        };
+        (hi - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = ZipfSampler::new(10, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_when_skewed() {
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut zero = 0;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let expected = zipf.probability(0) * draws as f64;
+        let observed = zero as f64;
+        assert!(
+            (observed - expected).abs() < expected * 0.25,
+            "observed {observed}, expected about {expected}"
+        );
+        assert!(zipf.probability(0) > zipf.probability(500));
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(4, 0.0);
+        assert!((zipf.probability(0) - 0.25).abs() < 1e-12);
+        assert!((zipf.probability(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let zipf = ZipfSampler::new(50, 0.8);
+        let sum: f64 = (0..50).map(|r| zipf.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.len(), 50);
+        assert!(!zipf.is_empty());
+        assert_eq!(zipf.alpha(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_rank_space_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn negative_alpha_rejected() {
+        let _ = ZipfSampler::new(1, -1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The paper's 1-byte popularity counter (§IV-C).
+//!
+//! "Not to lose the popularity information of a data block once it is
+//! evicted from the dead-value pool, we add 8 bits (1 byte) to the
+//! LPN-to-PPN mapping table which counts the popularity of a data
+//! block." Only *write* popularity is tracked, per the paper's critique
+//! of LX-SSD (footnote 3).
+
+use core::fmt;
+
+/// A saturating 8-bit write-popularity counter ("reference count" /
+/// "popularity degree" in the paper — the number of writes of a value).
+///
+/// The MQ promotion rule uses `log2(degree + 1)` as the target queue
+/// index; [`PopularityDegree::queue_index`] implements that function.
+///
+/// # Examples
+///
+/// ```
+/// use zssd_types::PopularityDegree;
+/// let mut pop = PopularityDegree::ZERO;
+/// assert_eq!(pop.queue_index(), 0);
+/// for _ in 0..3 { pop.increment(); }
+/// assert_eq!(pop.get(), 3);
+/// assert_eq!(pop.queue_index(), 2); // log2(3+1) = 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PopularityDegree(u8);
+
+impl PopularityDegree {
+    /// A never-written value.
+    pub const ZERO: PopularityDegree = PopularityDegree(0);
+
+    /// The saturation ceiling of the 1-byte counter.
+    pub const MAX: PopularityDegree = PopularityDegree(u8::MAX);
+
+    /// Creates a degree from a raw count.
+    #[inline]
+    pub const fn new(count: u8) -> Self {
+        PopularityDegree(count)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Increments the counter, saturating at 255.
+    #[inline]
+    pub fn increment(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Returns the incremented degree without mutating `self`.
+    #[inline]
+    pub const fn incremented(self) -> PopularityDegree {
+        PopularityDegree(self.0.saturating_add(1))
+    }
+
+    /// The MQ target queue index: `floor(log2(degree + 1))` (§IV-C).
+    ///
+    /// Degrees 0 → 0, 1–2 → 1, 3–6 → 2, 7–14 → 3, … so each queue
+    /// covers a geometric band of popularity, as in the original MQ
+    /// algorithm.
+    #[inline]
+    pub const fn queue_index(self) -> usize {
+        (self.0 as u16 + 1).ilog2() as usize
+    }
+}
+
+impl fmt::Display for PopularityDegree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pop{}", self.0)
+    }
+}
+
+impl From<u8> for PopularityDegree {
+    fn from(count: u8) -> Self {
+        PopularityDegree(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_saturate() {
+        let mut pop = PopularityDegree::new(254);
+        pop.increment();
+        assert_eq!(pop, PopularityDegree::MAX);
+        pop.increment();
+        assert_eq!(pop, PopularityDegree::MAX);
+        assert_eq!(PopularityDegree::MAX.incremented(), PopularityDegree::MAX);
+    }
+
+    #[test]
+    fn queue_index_is_log2_of_degree_plus_one() {
+        assert_eq!(PopularityDegree::new(0).queue_index(), 0);
+        assert_eq!(PopularityDegree::new(1).queue_index(), 1);
+        assert_eq!(PopularityDegree::new(2).queue_index(), 1);
+        assert_eq!(PopularityDegree::new(3).queue_index(), 2);
+        assert_eq!(PopularityDegree::new(6).queue_index(), 2);
+        assert_eq!(PopularityDegree::new(7).queue_index(), 3);
+        assert_eq!(PopularityDegree::new(127).queue_index(), 7);
+        assert_eq!(PopularityDegree::new(255).queue_index(), 8);
+    }
+
+    #[test]
+    fn queue_index_is_monotone() {
+        let mut last = 0;
+        for d in 0..=255u8 {
+            let q = PopularityDegree::new(d).queue_index();
+            assert!(q >= last, "queue index must not decrease");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(PopularityDegree::new(5).to_string(), "pop5");
+    }
+}

@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: the full device model driven by
+//! generated traces, checked for conservation invariants, content
+//! correctness, and the orderings the paper's design relies on.
+
+use std::collections::HashMap;
+
+use zombie_ssd::core::SystemKind;
+use zombie_ssd::ftl::{RunReport, Ssd, SsdConfig};
+use zombie_ssd::trace::{IoOp, SyntheticTrace, WorkloadProfile};
+use zombie_ssd::types::{Lpn, SimTime, ValueId};
+
+const ALL_SYSTEMS: [SystemKind; 7] = [
+    SystemKind::Baseline,
+    SystemKind::MqDvp { entries: 512 },
+    SystemKind::LruDvp { entries: 512 },
+    SystemKind::Ideal,
+    SystemKind::LxSsd { entries: 512 },
+    SystemKind::Dedup,
+    SystemKind::DvpPlusDedup { entries: 512 },
+];
+
+fn small_trace(profile: WorkloadProfile, seed: u64) -> SyntheticTrace {
+    SyntheticTrace::generate(&profile.scaled(0.004), seed)
+}
+
+fn run(profile: &WorkloadProfile, trace: &SyntheticTrace, system: SystemKind) -> RunReport {
+    Ssd::new(SsdConfig::for_footprint(profile.lpn_space).with_system(system))
+        .unwrap_or_else(|e| panic!("{system}: construction failed: {e}"))
+        .run_trace(trace.records())
+        .unwrap_or_else(|e| panic!("{system}: run failed: {e}"))
+}
+
+#[test]
+fn every_system_survives_every_workload() {
+    for profile in WorkloadProfile::paper_set() {
+        let scaled = profile.scaled(0.003);
+        let trace = SyntheticTrace::generate(&scaled, 7);
+        for system in ALL_SYSTEMS {
+            let report = run(&scaled, &trace, system);
+            assert_eq!(
+                report.host_writes + report.host_reads,
+                trace.records().len() as u64,
+                "{system} on {}: all requests serviced",
+                profile.name
+            );
+        }
+    }
+}
+
+#[test]
+fn content_read_back_matches_shadow_model_for_all_systems() {
+    let profile = WorkloadProfile::mail().scaled(0.003);
+    let trace = SyntheticTrace::generate(&profile, 21);
+    for system in ALL_SYSTEMS {
+        let mut ssd = Ssd::new(SsdConfig::for_footprint(profile.lpn_space).with_system(system))
+            .expect("drive");
+        let mut shadow: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut at = SimTime::ZERO;
+        for record in trace.records() {
+            match record.op {
+                IoOp::Write => {
+                    at = ssd.write(record.lpn, record.value, at).expect("write");
+                    shadow.insert(record.lpn, record.value);
+                }
+                IoOp::Read => {
+                    let (value, done) = ssd.read(record.lpn, at).expect("read");
+                    at = done;
+                    if let Some(&expect) = shadow.get(&record.lpn) {
+                        assert_eq!(value, expect, "{system}: content at {}", record.lpn);
+                    }
+                }
+            }
+        }
+        // Final sweep: every shadow entry reads back exactly.
+        for (&lpn, &expect) in &shadow {
+            let (value, _) = ssd.read(lpn, at).expect("read");
+            assert_eq!(value, expect, "{system}: final content at {lpn}");
+        }
+    }
+}
+
+#[test]
+fn valid_page_conservation_without_dedup() {
+    let profile = WorkloadProfile::web().scaled(0.003);
+    let trace = SyntheticTrace::generate(&profile, 3);
+    for system in [
+        SystemKind::Baseline,
+        SystemKind::MqDvp { entries: 512 },
+        SystemKind::Ideal,
+    ] {
+        let mut ssd = Ssd::new(SsdConfig::for_footprint(profile.lpn_space).with_system(system))
+            .expect("drive");
+        let mut at = SimTime::ZERO;
+        for record in trace.records().iter().filter(|r| r.is_write()) {
+            at = ssd.write(record.lpn, record.value, at).expect("write");
+        }
+        // One-to-one mapping: every mapped LPN owns exactly one valid
+        // physical page (preconditioning mapped every logical page).
+        assert_eq!(
+            ssd.flash().total_valid_pages(),
+            profile.lpn_space,
+            "{system}: valid pages == mapped logical pages"
+        );
+    }
+}
+
+#[test]
+fn dvp_reduces_programs_and_erases_on_redundant_traces() {
+    let profile = WorkloadProfile::mail().scaled(0.005);
+    let trace = SyntheticTrace::generate(&profile, 11);
+    let baseline = run(&profile, &trace, SystemKind::Baseline);
+    let dvp = run(&profile, &trace, SystemKind::MqDvp { entries: 2048 });
+    assert!(
+        dvp.flash_programs < baseline.flash_programs,
+        "DVP must cut programs: {} vs {}",
+        dvp.flash_programs,
+        baseline.flash_programs
+    );
+    assert!(
+        dvp.erases <= baseline.erases,
+        "fewer programs cannot need more erases: {} vs {}",
+        dvp.erases,
+        baseline.erases
+    );
+    assert!(dvp.revived_writes > 0);
+    assert!(
+        dvp.mean_latency() <= baseline.mean_latency(),
+        "write elimination must not hurt mean latency"
+    );
+}
+
+#[test]
+fn bigger_pools_never_revive_less() {
+    let profile = WorkloadProfile::mail().scaled(0.005);
+    let trace = SyntheticTrace::generate(&profile, 13);
+    let small = run(&profile, &trace, SystemKind::MqDvp { entries: 64 });
+    let large = run(&profile, &trace, SystemKind::MqDvp { entries: 8192 });
+    let ideal = run(&profile, &trace, SystemKind::Ideal);
+    assert!(small.revived_writes <= large.revived_writes);
+    assert!(large.revived_writes <= ideal.revived_writes);
+}
+
+#[test]
+fn dvp_plus_dedup_beats_dedup_alone() {
+    let profile = WorkloadProfile::mail().scaled(0.005);
+    let trace = SyntheticTrace::generate(&profile, 17);
+    let dedup = run(&profile, &trace, SystemKind::Dedup);
+    let combo = run(&profile, &trace, SystemKind::DvpPlusDedup { entries: 4096 });
+    assert!(
+        combo.flash_programs <= dedup.flash_programs,
+        "recycling garbage is complementary to dedup (SVII): {} vs {}",
+        combo.flash_programs,
+        dedup.flash_programs
+    );
+    assert!(
+        combo.revived_writes > 0,
+        "the pool must fire on top of dedup"
+    );
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let profile = WorkloadProfile::home().scaled(0.003);
+    let trace = SyntheticTrace::generate(&profile, 23);
+    for system in ALL_SYSTEMS {
+        let report = run(&profile, &trace, system);
+        assert_eq!(
+            report.flash_programs,
+            report.host_programs + report.gc_programs,
+            "{system}: program breakdown adds up"
+        );
+        assert_eq!(
+            report.host_writes,
+            report.host_programs + report.revived_writes + report.deduped_writes,
+            "{system}: every write is programmed, revived, or deduped"
+        );
+        assert_eq!(
+            report.all_latency.count,
+            report.host_writes + report.host_reads,
+            "{system}: every request has a latency sample"
+        );
+        assert!(report.all_latency.p99 >= report.all_latency.p50);
+        assert!(report.all_latency.max >= report.all_latency.p99);
+    }
+}
+
+#[test]
+fn wear_and_trim_surface_in_reports() {
+    let profile = WorkloadProfile::mail().scaled(0.005);
+    let trace = SyntheticTrace::generate(&profile, 29);
+    let report = run(&profile, &trace, SystemKind::Baseline);
+    assert!(report.erases > 0);
+    assert!(
+        report.wear.max_erases > 0,
+        "wear must accumulate once GC runs"
+    );
+    assert!(report.wear.mean_erases > 0.0);
+    assert!(report.wear.imbalance() >= 1.0);
+    // Timeline covers every request.
+    assert_eq!(
+        report.timeline.len() as u64,
+        report.host_writes + report.host_reads
+    );
+}
+
+#[test]
+fn run_reports_are_deterministic() {
+    let profile = WorkloadProfile::trans().scaled(0.003);
+    let trace = SyntheticTrace::generate(&profile, 31);
+    let a = run(&profile, &trace, SystemKind::MqDvp { entries: 1024 });
+    let b = run(&profile, &trace, SystemKind::MqDvp { entries: 1024 });
+    assert_eq!(a.flash_programs, b.flash_programs);
+    assert_eq!(a.erases, b.erases);
+    assert_eq!(a.revived_writes, b.revived_writes);
+    assert_eq!(a.all_latency.mean, b.all_latency.mean);
+}
+
+#[test]
+fn multi_day_traces_replay_day_by_day() {
+    let profile = WorkloadProfile::web().scaled(0.002);
+    let trace = small_trace(WorkloadProfile::web(), 5);
+    let _ = profile;
+    let mut ssd = Ssd::new(
+        SsdConfig::for_footprint(
+            trace
+                .records()
+                .iter()
+                .map(|r| r.lpn.index() + 1)
+                .max()
+                .unwrap(),
+        )
+        .with_system(SystemKind::MqDvp { entries: 512 }),
+    )
+    .expect("drive");
+    let mut at = SimTime::ZERO;
+    for day in 0..trace.num_days() {
+        for record in trace.day(day) {
+            match record.op {
+                IoOp::Write => at = ssd.write(record.lpn, record.value, at).expect("write"),
+                IoOp::Read => at = ssd.read(record.lpn, at).expect("read").1,
+            }
+        }
+    }
+    assert_eq!(
+        ssd.stats().host_writes + ssd.stats().host_reads,
+        trace.records().len() as u64
+    );
+}

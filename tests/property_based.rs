@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) on the core invariants: pools never
+//! fabricate or duplicate garbage pages, flash page accounting is
+//! conserved, the device always reads back what was written, and the
+//! measurement utilities are monotone.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use zombie_ssd::core::{
+    DeadValuePool, IdealPool, LruDeadValuePool, LxSsdConfig, LxSsdPool, MqConfig, MqDeadValuePool,
+    SystemKind,
+};
+use zombie_ssd::ftl::{Ssd, SsdConfig};
+use zombie_ssd::metrics::{Cdf, LatencyRecorder, ShareCurve};
+use zombie_ssd::types::{
+    Fingerprint, Lpn, PopularityDegree, Ppn, SimDuration, SimTime, ValueId, WriteClock,
+};
+
+/// One step of the pool-model exercise.
+#[derive(Debug, Clone)]
+enum PoolOp {
+    /// Offer a dead page (value id, ppn chosen by index, popularity).
+    Insert(u8, u16, u8),
+    /// Look up a value's hash.
+    Take(u8),
+    /// GC-remove a ppn.
+    Remove(u16),
+    /// Touch an address (read), LX-SSD-only behaviour.
+    Note(u16),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(v, p, d)| PoolOp::Insert(v, p, d)),
+        any::<u8>().prop_map(PoolOp::Take),
+        any::<u16>().prop_map(PoolOp::Remove),
+        any::<u16>().prop_map(PoolOp::Note),
+    ]
+}
+
+/// Drives any pool through an arbitrary op sequence against a simple
+/// model: a multiset of (fingerprint -> live-in-pool ppns). Checks
+/// that every hit returns a ppn that was inserted with that exact
+/// fingerprint and not yet consumed/removed, and that no ppn is ever
+/// handed out twice.
+fn check_pool_against_model<P: DeadValuePool>(mut pool: P, ops: Vec<PoolOp>) {
+    let mut clock = WriteClock::ZERO;
+    // What the pool *may* return for each fingerprint (superset of
+    // what it will: bounded pools evict silently).
+    let mut may_return: HashMap<Fingerprint, HashSet<Ppn>> = HashMap::new();
+    let mut owner: HashMap<Ppn, Fingerprint> = HashMap::new();
+    let mut handed_out: HashSet<Ppn> = HashSet::new();
+
+    for op in ops {
+        let now = clock.tick();
+        match op {
+            PoolOp::Insert(v, p, d) => {
+                let fp = Fingerprint::of_value(ValueId::new(u64::from(v)));
+                let ppn = Ppn::new(u64::from(p));
+                if owner.contains_key(&ppn) {
+                    // A ppn can only hold one value at a time; the FTL
+                    // never re-offers a tracked page. Skip like the
+                    // FTL would.
+                    continue;
+                }
+                pool.insert_dead(
+                    fp,
+                    ppn,
+                    Lpn::new(u64::from(p)),
+                    PopularityDegree::new(d),
+                    now,
+                );
+                // The pool may or may not retain it (eviction), but if
+                // it returns it later, it must be for this fp.
+                may_return.entry(fp).or_default().insert(ppn);
+                owner.insert(ppn, fp);
+            }
+            PoolOp::Take(v) => {
+                let fp = Fingerprint::of_value(ValueId::new(u64::from(v)));
+                if let Some(ppn) = pool.take_match(fp, now) {
+                    assert!(
+                        may_return.get(&fp).is_some_and(|s| s.contains(&ppn)),
+                        "pool returned {ppn} never inserted for this fingerprint"
+                    );
+                    assert!(handed_out.insert(ppn), "ppn {ppn} handed out twice");
+                    may_return.get_mut(&fp).expect("entry").remove(&ppn);
+                    owner.remove(&ppn);
+                }
+            }
+            PoolOp::Remove(p) => {
+                let ppn = Ppn::new(u64::from(p));
+                pool.remove_ppn(ppn);
+                if let Some(fp) = owner.remove(&ppn) {
+                    may_return.get_mut(&fp).expect("entry").remove(&ppn);
+                }
+            }
+            PoolOp::Note(p) => {
+                pool.note_lpn_access(Lpn::new(u64::from(p)), now);
+            }
+        }
+        if let Some(cap) = pool.capacity() {
+            assert!(pool.len() <= cap, "pool exceeded its capacity");
+        }
+        assert!(pool.tracked_ppns() >= pool.len().min(1) * usize::from(pool.len() > 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mq_pool_honours_the_model(ops in prop::collection::vec(pool_op(), 1..400)) {
+        let pool = MqDeadValuePool::new(MqConfig {
+            num_queues: 4,
+            capacity: 32,
+            initial_hottest_interval: 8,
+        });
+        check_pool_against_model(pool, ops);
+    }
+
+    #[test]
+    fn lru_pool_honours_the_model(ops in prop::collection::vec(pool_op(), 1..400)) {
+        check_pool_against_model(LruDeadValuePool::new(16), ops);
+    }
+
+    #[test]
+    fn ideal_pool_honours_the_model(ops in prop::collection::vec(pool_op(), 1..400)) {
+        check_pool_against_model(IdealPool::new(), ops);
+    }
+
+    #[test]
+    fn lxssd_pool_honours_the_model(ops in prop::collection::vec(pool_op(), 1..400)) {
+        let pool = LxSsdPool::new(LxSsdConfig::default().with_capacity(16));
+        check_pool_against_model(pool, ops);
+    }
+
+    #[test]
+    fn ideal_pool_never_misses_a_tracked_value(
+        inserts in prop::collection::vec((any::<u8>(), any::<u16>()), 1..100)
+    ) {
+        let mut pool = IdealPool::new();
+        let mut seen = HashSet::new();
+        let mut inserted_values = HashSet::new();
+        let mut clock = WriteClock::ZERO;
+        for (v, p) in &inserts {
+            let ppn = Ppn::new(u64::from(*p));
+            // A ppn holds one value at a time; duplicates are skipped
+            // exactly as the FTL would skip re-offering a tracked page.
+            if seen.insert(ppn) {
+                pool.insert_dead(
+                    Fingerprint::of_value(ValueId::new(u64::from(*v))),
+                    ppn,
+                    Lpn::new(0),
+                    PopularityDegree::ZERO,
+                    clock.tick(),
+                );
+                inserted_values.insert(*v);
+            }
+        }
+        // Every value actually inserted must be matchable at least once.
+        for v in inserted_values {
+            prop_assert!(pool
+                .take_match(Fingerprint::of_value(ValueId::new(u64::from(v))), clock.tick())
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(0u64..1000, 1..200)) {
+        let cdf = Cdf::from_samples(samples.iter().copied());
+        let mut last = 0.0;
+        for x in [0u64, 1, 5, 10, 100, 500, 999, 1000] {
+            let f = cdf.fraction_le(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last);
+            last = f;
+        }
+        prop_assert_eq!(cdf.fraction_le(1000), 1.0);
+        let max = cdf.max().expect("nonempty");
+        prop_assert_eq!(cdf.quantile(1.0), max);
+    }
+
+    #[test]
+    fn share_curve_is_monotone_and_complete(weights in prop::collection::vec(0u64..1000, 1..200)) {
+        let curve = ShareCurve::from_weights(weights.iter().copied());
+        let mut last = 0.0;
+        for i in 1..=10 {
+            let share = curve.share_of_top(i as f64 / 10.0);
+            prop_assert!(share + 1e-12 >= last, "share must not decrease");
+            last = share;
+        }
+        let total: u64 = weights.iter().sum();
+        if total > 0 {
+            prop_assert!((curve.share_of_top(1.0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered(samples in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(SimDuration::from_nanos(s));
+        }
+        let summary = rec.summary();
+        prop_assert!(summary.p50 <= summary.p99);
+        prop_assert!(summary.p99 <= summary.max);
+        prop_assert!(summary.mean <= summary.max);
+        prop_assert_eq!(summary.count, samples.len() as u64);
+    }
+
+    #[test]
+    fn device_reads_back_writes_under_arbitrary_sequences(
+        ops in prop::collection::vec((0u64..192, 0u64..40, 0u8..8), 1..250),
+        system_pick in 0usize..8,
+    ) {
+        let system = [
+            SystemKind::Baseline,
+            SystemKind::MqDvp { entries: 24 },
+            SystemKind::LruDvp { entries: 24 },
+            SystemKind::Ideal,
+            SystemKind::LxSsd { entries: 24 },
+            SystemKind::Dedup,
+            SystemKind::DvpPlusDedup { entries: 24 },
+            SystemKind::AdaptiveDvp { min_entries: 8, max_entries: 64 },
+        ][system_pick];
+        let mut ssd = Ssd::new(
+            SsdConfig::small_test()
+                .without_precondition()
+                .with_system(system),
+        ).expect("valid drive");
+        let mut shadow: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut at = SimTime::ZERO;
+        for (lpn, value, action) in ops {
+            let lpn = Lpn::new(lpn);
+            match action {
+                // Writes dominate; occasionally trim, otherwise read.
+                0..=4 => {
+                    at = ssd.write(lpn, ValueId::new(value), at).expect("write");
+                    shadow.insert(lpn, ValueId::new(value));
+                }
+                5 => {
+                    ssd.trim(lpn).expect("trim");
+                    shadow.remove(&lpn);
+                }
+                _ => {
+                    let (got, done) = ssd.read(lpn, at).expect("read");
+                    at = done;
+                    if let Some(&expect) = shadow.get(&lpn) {
+                        prop_assert_eq!(got, expect, "{} mismatch at {}", system, lpn);
+                    }
+                }
+            }
+        }
+        // Page-state conservation on the tiny drive.
+        let flash = ssd.flash();
+        let geom = flash.geometry();
+        let mut valid = 0u64;
+        let mut counted = 0u64;
+        for (_, info) in flash.blocks() {
+            valid += u64::from(info.valid_pages);
+            counted += u64::from(info.valid_pages)
+                + u64::from(info.invalid_pages)
+                + u64::from(info.free_pages);
+        }
+        prop_assert_eq!(counted, geom.total_pages(), "page states partition the device");
+        if !system.uses_dedup() {
+            prop_assert_eq!(valid, shadow.len() as u64, "one valid page per mapped LPN");
+        }
+    }
+}
