@@ -1,0 +1,71 @@
+//! The parallel grid executor: serial vs threaded replay of a small
+//! (workload × system) matrix over shared traces. On a multicore host
+//! the `threads/N` rows should approach `serial / N`; on a single
+//! hardware thread they only measure the executor's overhead (see
+//! `BENCH_grid.json` for the measured `all_experiments` matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use zssd_bench::{config_for, grid_threads, run_grid_with_threads, shared_traces, GridCell};
+use zssd_core::SystemKind;
+use zssd_trace::WorkloadProfile;
+
+/// A 2×3 grid at a fixed tiny scale — small enough for criterion,
+/// large enough that a cell dominates per-task bookkeeping.
+fn small_grid() -> Vec<GridCell> {
+    let profiles = [
+        WorkloadProfile::mail().scaled(0.002),
+        WorkloadProfile::trans().scaled(0.002),
+    ];
+    let traces = shared_traces(&profiles);
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::MqDvp { entries: 1_000 },
+        SystemKind::Dedup,
+    ];
+    profiles
+        .iter()
+        .zip(&traces)
+        .flat_map(|(profile, records)| {
+            systems.iter().map(|&system| {
+                GridCell::new(
+                    profile.name.clone(),
+                    system.label(),
+                    config_for(profile, system),
+                    records.clone(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn bench_grid_runner(c: &mut Criterion) {
+    let cells = small_grid();
+    let mut group = c.benchmark_group("grid_runner");
+    group.sample_size(10);
+    group.bench_function(format!("serial/{}_cells", cells.len()), |b| {
+        b.iter(|| {
+            let reports = run_grid_with_threads(cells.clone(), 1).expect("grid runs");
+            black_box(reports.len())
+        });
+    });
+    let threads = grid_threads();
+    group.bench_function(format!("threads_{threads}/{}_cells", cells.len()), |b| {
+        b.iter(|| {
+            let reports = run_grid_with_threads(cells.clone(), threads).expect("grid runs");
+            black_box(reports.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_grid_runner
+}
+criterion_main!(benches);

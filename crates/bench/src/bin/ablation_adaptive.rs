@@ -5,10 +5,11 @@
 //!
 //! Run with `cargo run -p zssd-bench --release --bin ablation_adaptive`.
 
-use zssd_bench::{config_for, scale, scaled_entries, TextTable};
+use std::sync::Arc;
+
+use zssd_bench::{config_for, run_grid, scale, scaled_entries, GridCell, TextTable};
 use zssd_core::SystemKind;
-use zssd_ftl::Ssd;
-use zssd_trace::{SyntheticTrace, WorkloadProfile};
+use zssd_trace::{SyntheticTrace, TraceRecord, WorkloadProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 1: mail-like (redundant). Phase 2: trans-like (unique).
@@ -31,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t1.records().len(),
         t2.records().len()
     );
+    let records: Arc<[TraceRecord]> = records.into();
 
     let min = scaled_entries(50_000);
     let max = scaled_entries(400_000);
-    let mut table = TextTable::new(vec!["system", "revived", "programs", "mean latency"]);
-    for system in [
+    let systems = [
         SystemKind::MqDvp { entries: min },
         SystemKind::MqDvp {
             entries: scaled_entries(200_000),
@@ -45,8 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             min_entries: min,
             max_entries: max,
         },
-    ] {
-        let report = Ssd::new(config_for(&mail, system))?.run_trace(&records)?;
+    ];
+    let cells: Vec<GridCell> = systems
+        .iter()
+        .map(|&system| {
+            GridCell::new(
+                "phase-change",
+                system.label(),
+                config_for(&mail, system),
+                records.clone(),
+            )
+        })
+        .collect();
+    let reports = run_grid(cells)?;
+
+    let mut table = TextTable::new(vec!["system", "revived", "programs", "mean latency"]);
+    for (system, report) in systems.iter().zip(&reports) {
         table.row(vec![
             system.label(),
             report.revived_writes.to_string(),

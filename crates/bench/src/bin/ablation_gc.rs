@@ -5,10 +5,11 @@
 //! Run with `cargo run -p zssd-bench --release --bin ablation_gc`.
 
 use zssd_bench::{
-    config_for, experiment_profiles, pct, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+    config_for, experiment_profiles, pct, run_grid, scaled_entries, shared_traces, GridCell,
+    TextTable, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
-use zssd_ftl::Ssd;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ablation: popularity-aware GC (SIV-D) vs greedy GC, DVP-200K\n");
     let system = SystemKind::MqDvp {
@@ -22,12 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "erases (greedy)",
         "erases (pop-aware)",
     ]);
-    for profile in experiment_profiles() {
-        let trace = trace_for(&profile);
-        let greedy = Ssd::new(config_for(&profile, system).with_popularity_aware_gc(false))?
-            .run_trace(trace.records())?;
-        let aware = Ssd::new(config_for(&profile, system).with_popularity_aware_gc(true))?
-            .run_trace(trace.records())?;
+    let profiles = experiment_profiles();
+    // Two columns per workload — greedy and popularity-aware — each
+    // pair replaying one shared trace.
+    let cells: Vec<GridCell> = profiles
+        .iter()
+        .zip(shared_traces(&profiles))
+        .flat_map(|(profile, records)| {
+            [false, true].into_iter().map(move |aware| {
+                GridCell::new(
+                    profile.name.clone(),
+                    if aware { "pop-aware" } else { "greedy" },
+                    config_for(profile, system).with_popularity_aware_gc(aware),
+                    records.clone(),
+                )
+            })
+        })
+        .collect();
+    let reports = run_grid(cells)?;
+    for (profile, pair) in profiles.iter().zip(reports.chunks(2)) {
+        let (greedy, aware) = (&pair[0], &pair[1]);
         table.row(vec![
             profile.name.clone(),
             greedy.revived_writes.to_string(),

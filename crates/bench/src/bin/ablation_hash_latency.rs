@@ -4,34 +4,51 @@
 //!
 //! Run with `cargo run -p zssd-bench --release --bin ablation_hash_latency`.
 
+use std::sync::Arc;
+
 use zssd_bench::{
-    config_for, pct, scale, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+    config_for, pct, run_grid, scale, scaled_entries, trace_for, GridCell, TextTable,
+    PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_flash::FlashTiming;
-use zssd_ftl::Ssd;
 use zssd_metrics::reduction_pct;
-use zssd_trace::WorkloadProfile;
+use zssd_trace::{TraceRecord, WorkloadProfile};
 use zssd_types::SimDuration;
+
+const HASH_SWEEP_US: [u64; 6] = [0, 6, 12, 25, 50, 100];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = WorkloadProfile::mail().scaled(scale());
-    let trace = trace_for(&profile);
+    let records: Arc<[TraceRecord]> = trace_for(&profile).into_records().into();
     let system = SystemKind::MqDvp {
         entries: scaled_entries(PAPER_POOL_ENTRIES),
     };
-    let baseline =
-        Ssd::new(config_for(&profile, SystemKind::Baseline))?.run_trace(trace.records())?;
-    eprintln!("  [baseline] done");
+    // One grid: the baseline plus one column per hash latency, all
+    // replaying the same shared trace.
+    let mut cells = vec![GridCell::new(
+        profile.name.clone(),
+        "baseline",
+        config_for(&profile, SystemKind::Baseline),
+        records.clone(),
+    )];
+    cells.extend(HASH_SWEEP_US.iter().map(|&us| {
+        let timing = FlashTiming::paper_table1().with_hash(SimDuration::from_micros(us));
+        GridCell::new(
+            profile.name.clone(),
+            format!("hash {us}us"),
+            config_for(&profile, system).with_timing(timing),
+            records.clone(),
+        )
+    }));
+    let reports = run_grid(cells)?;
+    let baseline = &reports[0];
 
     println!("Ablation: hash-engine latency sensitivity (mail, DVP-200K)\n");
     let mut table = TextTable::new(vec!["hash latency", "mean latency", "improvement"]);
-    for us in [0u64, 6, 12, 25, 50, 100] {
-        let timing = FlashTiming::paper_table1().with_hash(SimDuration::from_micros(us));
-        let report = Ssd::new(config_for(&profile, system).with_timing(timing))?
-            .run_trace(trace.records())?;
+    for (us, report) in HASH_SWEEP_US.iter().zip(&reports[1..]) {
         table.row(vec![
-            SimDuration::from_micros(us).to_string(),
+            SimDuration::from_micros(*us).to_string(),
             report.mean_latency().to_string(),
             pct(reduction_pct(
                 baseline.mean_latency().as_nanos() as f64,

@@ -4,23 +4,42 @@
 //!
 //! Run with `cargo run -p zssd-bench --release --bin ablation_queues`.
 
+use std::sync::Arc;
+
 use zssd_bench::{
-    config_for, pct, scale, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+    config_for, pct, run_grid, scale, scaled_entries, trace_for, GridCell, TextTable,
+    PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
-use zssd_ftl::Ssd;
 use zssd_metrics::reduction_pct;
-use zssd_trace::WorkloadProfile;
+use zssd_trace::{TraceRecord, WorkloadProfile};
+
+const QUEUE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = WorkloadProfile::mail().scaled(scale());
-    let trace = trace_for(&profile);
+    let records: Arc<[TraceRecord]> = trace_for(&profile).into_records().into();
     let system = SystemKind::MqDvp {
         entries: scaled_entries(PAPER_POOL_ENTRIES),
     };
-    let baseline =
-        Ssd::new(config_for(&profile, SystemKind::Baseline))?.run_trace(trace.records())?;
-    eprintln!("  [baseline] done");
+    // One grid: the baseline column plus one column per queue count,
+    // all replaying the same shared trace.
+    let mut cells = vec![GridCell::new(
+        profile.name.clone(),
+        "baseline",
+        config_for(&profile, SystemKind::Baseline),
+        records.clone(),
+    )];
+    cells.extend(QUEUE_SWEEP.iter().map(|&queues| {
+        GridCell::new(
+            profile.name.clone(),
+            format!("{queues} queues"),
+            config_for(&profile, system).with_mq_queues(queues),
+            records.clone(),
+        )
+    }));
+    let reports = run_grid(cells)?;
+    let baseline = &reports[0];
 
     println!("Ablation: MQ queue count (mail, 200K entries)\n");
     let mut table = TextTable::new(vec![
@@ -30,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "promotions",
         "demotions",
     ]);
-    for queues in [1usize, 2, 4, 8, 16] {
-        let report = Ssd::new(config_for(&profile, system).with_mq_queues(queues))?
-            .run_trace(trace.records())?;
+    for (queues, report) in QUEUE_SWEEP.iter().zip(&reports[1..]) {
         table.row(vec![
             queues.to_string(),
             report.revived_writes.to_string(),

@@ -5,41 +5,42 @@
 //!
 //! Run with `cargo run -p zssd-bench --release --bin fig09_write_reduction`.
 //! Scale down with `ZSSD_SCALE=0.1` for a quick pass (pool sizes scale
-//! with the trace so the sweep stays meaningful).
+//! with the trace so the sweep stays meaningful). The whole sweep runs
+//! through the parallel grid executor (`ZSSD_THREADS` to pin).
 
 use zssd_bench::{
-    experiment_profiles, maybe_write_csv, pct, run_system, scaled_entries, trace_for, TextTable,
+    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
 };
 use zssd_core::SystemKind;
 use zssd_metrics::reduction_pct;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 9: % reduction in number of writes vs Baseline\n");
-    let sweeps = [100_000usize, 200_000, 300_000];
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::MqDvp {
+            entries: scaled_entries(100_000),
+        },
+        SystemKind::MqDvp {
+            entries: scaled_entries(200_000),
+        },
+        SystemKind::MqDvp {
+            entries: scaled_entries(300_000),
+        },
+        SystemKind::Ideal,
+    ];
     let mut table = TextTable::new(vec!["trace", "DVP-100K", "DVP-200K", "DVP-300K", "Ideal"]);
     let mut means = [0.0f64; 4];
     let profiles = experiment_profiles();
-    for profile in &profiles {
-        let trace = trace_for(profile);
-        let records = trace.records();
-        let baseline = run_system(profile, records, SystemKind::Baseline)?;
+    let reports = run_grid(grid_for(&profiles, &systems))?;
+    for (profile, reports) in profiles.iter().zip(reports.chunks(systems.len())) {
+        let baseline = &reports[0];
         let mut cells = vec![profile.name.clone()];
-        for (i, &entries) in sweeps.iter().enumerate() {
-            let report = run_system(
-                profile,
-                records,
-                SystemKind::MqDvp {
-                    entries: scaled_entries(entries),
-                },
-            )?;
+        for (i, report) in reports[1..].iter().enumerate() {
             let red = reduction_pct(baseline.flash_programs as f64, report.flash_programs as f64);
             means[i] += red;
             cells.push(pct(red));
         }
-        let ideal = run_system(profile, records, SystemKind::Ideal)?;
-        let red = reduction_pct(baseline.flash_programs as f64, ideal.flash_programs as f64);
-        means[3] += red;
-        cells.push(pct(red));
         table.row(cells);
         eprintln!("  [{}] done", profile.name);
     }

@@ -4,8 +4,8 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig10_erase_reduction`.
 
 use zssd_bench::{
-    compare_systems, experiment_profiles, maybe_write_csv, pct, scaled_entries, trace_for,
-    TextTable, PAPER_POOL_ENTRIES,
+    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
+    PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_metrics::reduction_pct;
@@ -22,9 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(vec!["trace", "DVP-200K", "Ideal"]);
     let mut mean = [0.0f64; 2];
     let profiles = experiment_profiles();
-    for profile in &profiles {
-        let trace = trace_for(profile);
-        let reports = compare_systems(profile, trace.records(), &systems)?;
+    let all = run_grid(grid_for(&profiles, &systems))?;
+    for (profile, reports) in profiles.iter().zip(all.chunks(systems.len())) {
         let base = reports[0].erases as f64;
         let dvp = reduction_pct(base, reports[1].erases as f64);
         let ideal = reduction_pct(base, reports[2].erases as f64);

@@ -4,8 +4,8 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig12_tail_latency`.
 
 use zssd_bench::{
-    compare_systems, experiment_profiles, maybe_write_csv, pct, scaled_entries, trace_for,
-    TextTable, PAPER_POOL_ENTRIES,
+    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
+    PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_metrics::reduction_pct;
@@ -21,9 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(vec!["trace", "improvement", "baseline p99", "DVP p99"]);
     let mut mean = 0.0f64;
     let profiles = experiment_profiles();
-    for profile in &profiles {
-        let trace = trace_for(profile);
-        let reports = compare_systems(profile, trace.records(), &systems)?;
+    let all = run_grid(grid_for(&profiles, &systems))?;
+    for (profile, reports) in profiles.iter().zip(all.chunks(systems.len())) {
         let base = reports[0].tail_latency();
         let dvp = reports[1].tail_latency();
         let improvement = reduction_pct(base.as_nanos() as f64, dvp.as_nanos() as f64);

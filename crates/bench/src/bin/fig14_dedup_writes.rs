@@ -4,8 +4,8 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig14_dedup_writes`.
 
 use zssd_bench::{
-    compare_systems, experiment_profiles, frac_pct, maybe_write_csv, scaled_entries, trace_for,
-    TextTable, PAPER_POOL_ENTRIES,
+    experiment_profiles, frac_pct, grid_for, maybe_write_csv, run_grid, scaled_entries, TextTable,
+    PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 
@@ -21,9 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(vec!["trace", "Dedup", "DVP", "DVP+Dedup"]);
     let mut sums = [0.0f64; 3];
     let profiles = experiment_profiles();
-    for profile in &profiles {
-        let trace = trace_for(profile);
-        let reports = compare_systems(profile, trace.records(), &systems)?;
+    let all = run_grid(grid_for(&profiles, &systems))?;
+    for (profile, reports) in profiles.iter().zip(all.chunks(systems.len())) {
         let base = reports[0].flash_programs as f64;
         let mut cells = vec![profile.name.clone()];
         for (i, report) in reports[1..].iter().enumerate() {

@@ -2,8 +2,9 @@
 //! traces and compared against the paper's targets.
 //!
 //! Run with `cargo run -p zssd-bench --release --bin table2_workloads`.
+//! Traces generate in parallel (`ZSSD_THREADS` to pin).
 
-use zssd_bench::{experiment_profiles, frac_pct, maybe_write_csv, trace_for, TextTable};
+use zssd_bench::{experiment_profiles, frac_pct, maybe_write_csv, shared_traces, TextTable};
 use zssd_trace::TraceStats;
 
 /// Paper Table II: (name, WR %, unique write %, unique read %).
@@ -29,10 +30,11 @@ fn main() {
         "uniqR% meas",
         "footprint",
     ]);
-    for (profile, paper) in experiment_profiles().iter().zip(PAPER) {
+    let profiles = experiment_profiles();
+    let traces = shared_traces(&profiles);
+    for ((profile, records), paper) in profiles.iter().zip(&traces).zip(PAPER) {
         assert_eq!(profile.name, paper.0, "profile order matches the paper");
-        let trace = trace_for(profile);
-        let stats = TraceStats::measure(trace.records());
+        let stats = TraceStats::measure(records);
         table.row(vec![
             profile.name.clone(),
             stats.requests.to_string(),

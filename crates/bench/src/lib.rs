@@ -9,15 +9,24 @@
 //! requests/day × 3 days per workload). Set `ZSSD_SCALE` (e.g. `0.1`)
 //! to shrink every trace and footprint proportionally for quick runs,
 //! and `ZSSD_SEED` to change the generator seed.
+//!
+//! Parallelism: the (workload × system) matrix runs through the
+//! [`run_grid`] executor, which fans cells across worker threads
+//! (`ZSSD_THREADS` overrides the count) while keeping output order —
+//! and every report — identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
+
 use std::fmt::Display;
 
 use zssd_core::SystemKind;
-use zssd_ftl::{RunReport, Ssd, SsdConfig, SsdError};
+use zssd_ftl::{RunReport, SsdConfig, SsdError};
 use zssd_trace::{SyntheticTrace, TraceRecord, WorkloadProfile};
+
+pub use grid::{grid_for, grid_threads, run_grid, run_grid_with_threads, shared_traces, GridCell};
 
 /// The paper's headline pool size (entries).
 pub const PAPER_POOL_ENTRIES: usize = 200_000;
@@ -80,6 +89,10 @@ pub fn config_for(profile: &WorkloadProfile, system: SystemKind) -> SsdConfig {
 /// Runs one full-system simulation of `records` under `system`, sized
 /// for `profile`.
 ///
+/// Note: superseded by [`run_grid`], which runs many such cells in
+/// parallel and shares each trace buffer instead of copying it; this
+/// single-cell wrapper is kept for API compatibility and convenience.
+///
 /// # Errors
 ///
 /// Propagates simulator errors (configuration, out-of-space).
@@ -88,23 +101,46 @@ pub fn run_system(
     records: &[TraceRecord],
     system: SystemKind,
 ) -> Result<RunReport, SsdError> {
-    Ssd::new(config_for(profile, system))?.run_trace(records)
+    GridCell::new(
+        profile.name.clone(),
+        system.to_string(),
+        config_for(profile, system),
+        records.into(),
+    )
+    .run()
 }
 
-/// Runs the same records under several systems, in order.
+/// Runs the same records under several systems, returning reports in
+/// system order.
+///
+/// Note: superseded by [`run_grid`] — this wrapper builds the
+/// single-row grid for you (sharing one copy of `records` across the
+/// cells) and fans it across [`grid_threads`] workers. Callers
+/// running more than one workload should build the full grid with
+/// [`grid_for`] instead, so all cells parallelize together.
 ///
 /// # Errors
 ///
-/// Propagates the first simulator error.
+/// Propagates the error of the earliest failing system.
 pub fn compare_systems(
     profile: &WorkloadProfile,
     records: &[TraceRecord],
     systems: &[SystemKind],
 ) -> Result<Vec<RunReport>, SsdError> {
-    systems
-        .iter()
-        .map(|&system| run_system(profile, records, system))
-        .collect()
+    let shared: std::sync::Arc<[TraceRecord]> = records.into();
+    run_grid(
+        systems
+            .iter()
+            .map(|&system| {
+                GridCell::new(
+                    profile.name.clone(),
+                    system.to_string(),
+                    config_for(profile, system),
+                    shared.clone(),
+                )
+            })
+            .collect(),
+    )
 }
 
 /// A minimal aligned text table for experiment output.

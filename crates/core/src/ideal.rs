@@ -5,7 +5,7 @@
 //! comparison to provide insights on the maximum achievable
 //! performance gain by recycling garbage pages."
 
-use std::collections::HashMap;
+use zssd_types::FxHashMap;
 
 use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, WriteClock};
 
@@ -34,8 +34,8 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IdealPool {
-    by_fp: HashMap<Fingerprint, Entry>,
-    by_ppn: HashMap<Ppn, Fingerprint>,
+    by_fp: FxHashMap<Fingerprint, Entry>,
+    by_ppn: FxHashMap<Ppn, Fingerprint>,
     stats: PoolStats,
 }
 

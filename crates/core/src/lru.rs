@@ -5,7 +5,7 @@
 //! to motivate MQ (Figs 5 and 6); we keep it both as a baseline and as
 //! an ablation point.
 
-use std::collections::HashMap;
+use zssd_types::FxHashMap;
 
 use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, WriteClock};
 
@@ -42,8 +42,8 @@ pub struct LruDeadValuePool {
     capacity: usize,
     slab: Slab<Entry>,
     lru: ListHandle,
-    by_fp: HashMap<Fingerprint, SlotId>,
-    by_ppn: HashMap<Ppn, SlotId>,
+    by_fp: FxHashMap<Fingerprint, SlotId>,
+    by_ppn: FxHashMap<Ppn, SlotId>,
     stats: PoolStats,
 }
 
@@ -59,8 +59,8 @@ impl LruDeadValuePool {
             capacity,
             slab: Slab::with_capacity(capacity.min(1 << 20)),
             lru: ListHandle::new(),
-            by_fp: HashMap::new(),
-            by_ppn: HashMap::new(),
+            by_fp: FxHashMap::default(),
+            by_ppn: FxHashMap::default(),
             stats: PoolStats::default(),
         }
     }

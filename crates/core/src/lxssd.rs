@@ -21,7 +21,7 @@
 //! values than the paper's MQ pool — the scalability gap the paper
 //! demonstrates on mail.
 
-use std::collections::HashMap;
+use zssd_types::FxHashMap;
 
 use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, WriteClock};
 
@@ -88,10 +88,10 @@ pub struct LxSsdPool {
     slab: Slab<Entry>,
     lru: ListHandle,
     /// All garbage pages currently holding each content hash.
-    by_fp: HashMap<Fingerprint, Vec<SlotId>>,
-    by_ppn: HashMap<Ppn, SlotId>,
+    by_fp: FxHashMap<Fingerprint, Vec<SlotId>>,
+    by_ppn: FxHashMap<Ppn, SlotId>,
     /// Entries whose recency is refreshed by accesses to an address.
-    by_lpn: HashMap<Lpn, Vec<SlotId>>,
+    by_lpn: FxHashMap<Lpn, Vec<SlotId>>,
     stats: PoolStats,
 }
 
@@ -107,9 +107,9 @@ impl LxSsdPool {
             cfg,
             slab: Slab::with_capacity(cfg.capacity.min(1 << 20)),
             lru: ListHandle::new(),
-            by_fp: HashMap::new(),
-            by_ppn: HashMap::new(),
-            by_lpn: HashMap::new(),
+            by_fp: FxHashMap::default(),
+            by_ppn: FxHashMap::default(),
+            by_lpn: FxHashMap::default(),
             stats: PoolStats::default(),
         }
     }

@@ -1,6 +1,6 @@
 //! The Multi-Queue dead-value pool (§III-B, §IV of the paper).
 
-use std::collections::HashMap;
+use zssd_types::FxHashMap;
 
 use zssd_types::{Fingerprint, Lpn, PopularityDegree, Ppn, WriteClock};
 
@@ -96,8 +96,8 @@ pub struct MqDeadValuePool {
     cfg: MqConfig,
     slab: Slab<Entry>,
     queues: Vec<ListHandle>,
-    by_fp: HashMap<Fingerprint, SlotId>,
-    by_ppn: HashMap<Ppn, SlotId>,
+    by_fp: FxHashMap<Fingerprint, SlotId>,
+    by_ppn: FxHashMap<Ppn, SlotId>,
     hottest_pop: PopularityDegree,
     hottest_interval: u64,
     stats: PoolStats,
@@ -116,8 +116,8 @@ impl MqDeadValuePool {
             cfg,
             slab: Slab::with_capacity(cfg.capacity.min(1 << 20)),
             queues: vec![ListHandle::new(); cfg.num_queues],
-            by_fp: HashMap::new(),
-            by_ppn: HashMap::new(),
+            by_fp: FxHashMap::default(),
+            by_ppn: FxHashMap::default(),
             hottest_pop: PopularityDegree::ZERO,
             hottest_interval: cfg.initial_hottest_interval,
             stats: PoolStats::default(),

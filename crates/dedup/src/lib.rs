@@ -46,10 +46,10 @@
 #![warn(missing_docs)]
 
 use core::fmt;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 
-use zssd_types::{Fingerprint, Ppn};
+use zssd_types::{Fingerprint, FxHashMap, Ppn};
 
 /// An inconsistent use of the deduplication index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,8 +118,8 @@ struct IndexEntry {
 /// fingerprint → physical-page lookup plus per-page reference counts.
 #[derive(Debug, Clone, Default)]
 pub struct DedupStore {
-    pages: HashMap<Ppn, PageEntry>,
-    index: HashMap<Fingerprint, IndexEntry>,
+    pages: FxHashMap<Ppn, PageEntry>,
+    index: FxHashMap<Fingerprint, IndexEntry>,
     lru: BTreeMap<u64, Fingerprint>,
     next_stamp: u64,
     capacity: Option<usize>,

@@ -50,6 +50,7 @@ mod config;
 mod error;
 mod gc;
 mod mapping;
+mod rmap;
 mod ssd;
 mod stats;
 

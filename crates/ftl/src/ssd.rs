@@ -1,7 +1,5 @@
 //! The simulated SSD: write/read service, zombie revival, dedup, GC.
 
-use std::collections::HashMap;
-
 use zssd_core::{
     AdaptiveConfig, AdaptiveMqPool, DeadValuePool, IdealPool, LruDeadValuePool, LxSsdConfig,
     LxSsdPool, MqDeadValuePool, NoPool, PoolStats, SystemKind,
@@ -15,18 +13,9 @@ use crate::config::SsdConfig;
 use crate::error::SsdError;
 use crate::gc::{GcPolicy, GreedyGc, PopularityAwareGc};
 use crate::mapping::MappingTable;
+use crate::rmap::{PhysPage, Rmap};
 use crate::stats::{RunReport, SsdStats};
 use crate::Allocator;
-
-/// What the controller knows about the data in one physical page:
-/// its content identity and the logical pages referencing it (empty
-/// for garbage pages — kept so revival and GC know the content).
-#[derive(Debug, Clone)]
-struct PhysPage {
-    fp: Fingerprint,
-    value: ValueId,
-    owners: Vec<Lpn>,
-}
 
 /// A simulated SSD assembled per [`SystemKind`]: flash array, mapping
 /// table, allocator, GC policy, dead-value pool, and (optionally) the
@@ -65,7 +54,7 @@ pub struct Ssd {
     gc: Box<dyn GcPolicy>,
     pool: Box<dyn DeadValuePool>,
     dedup: Option<DedupStore>,
-    rmap: HashMap<Ppn, PhysPage>,
+    rmap: Rmap,
     clock: WriteClock,
     stats: SsdStats,
 }
@@ -116,7 +105,11 @@ impl Ssd {
             gc,
             pool,
             dedup,
-            rmap: HashMap::new(),
+            rmap: if config.sparse_rmap {
+                Rmap::sparse()
+            } else {
+                Rmap::dense(config.geometry.total_pages())
+            },
             clock: WriteClock::ZERO,
             stats: SsdStats::new(),
             config,
@@ -225,7 +218,7 @@ impl Ssd {
             self.flash.revive_page(zombie)?;
             let page = self
                 .rmap
-                .get_mut(&zombie)
+                .get_mut(zombie)
                 .expect("tracked garbage pages keep their physical-page record");
             debug_assert!(page.owners.is_empty());
             debug_assert_eq!(page.fp, fp);
@@ -251,7 +244,7 @@ impl Ssd {
                     self.kill_current(lpn, now)?;
                     self.mapping.update(lpn, shared)?;
                     self.rmap
-                        .get_mut(&shared)
+                        .get_mut(shared)
                         .expect("live pages have physical-page records")
                         .owners
                         .push(lpn);
@@ -306,7 +299,7 @@ impl Ssd {
                 done = self.flash.read_page(ppn, arrival)?;
                 value = self
                     .rmap
-                    .get(&ppn)
+                    .get(ppn)
                     .expect("mapped pages have physical-page records")
                     .value;
             }
@@ -364,10 +357,20 @@ impl Ssd {
     }
 
     /// Finalizes this drive into a [`RunReport`].
+    ///
+    /// Consumes the drive so the latency and timeline sample vectors
+    /// move into the report instead of being cloned — at experiment
+    /// scale those hold millions of samples per run.
     pub fn into_report(mut self) -> RunReport {
         let flash = self.flash.stats();
-        let mut all = self.stats.write_latency.clone();
-        all.merge(&self.stats.read_latency);
+        let mut write_latency = std::mem::take(&mut self.stats.write_latency);
+        let mut read_latency = std::mem::take(&mut self.stats.read_latency);
+        let timeline = std::mem::take(&mut self.stats.timeline);
+        let write_summary = write_latency.summary();
+        let read_summary = read_latency.summary();
+        // The combined digest reuses the write recorder's storage.
+        let mut all = write_latency;
+        all.merge(&read_latency);
         RunReport {
             system: self.config.system,
             host_writes: self.stats.host_writes,
@@ -383,9 +386,9 @@ impl Ssd {
             pool: self.pool.stats(),
             dedup: self.dedup.as_ref().map(|d| d.stats()),
             wear: self.flash.wear_summary(),
-            timeline: self.stats.timeline.clone(),
-            write_latency: self.stats.write_latency.summary(),
-            read_latency: self.stats.read_latency.summary(),
+            timeline,
+            write_latency: write_summary,
+            read_latency: read_summary,
             all_latency: all.summary(),
         }
     }
@@ -409,7 +412,7 @@ impl Ssd {
             let release = dedup.release(old)?;
             let page = self
                 .rmap
-                .get_mut(&old)
+                .get_mut(old)
                 .expect("live pages have physical-page records");
             page.owners.retain(|&l| l != lpn);
             if release.remaining == 0 {
@@ -421,7 +424,7 @@ impl Ssd {
         } else {
             let page = self
                 .rmap
-                .get_mut(&old)
+                .get_mut(old)
                 .expect("live pages have physical-page records");
             page.owners.clear();
             let fp = page.fp;
@@ -519,7 +522,7 @@ impl Ssd {
                     self.stats.gc_programs += 1;
                     let page = self
                         .rmap
-                        .remove(&ppn)
+                        .remove(ppn)
                         .expect("valid pages have physical-page records");
                     for &owner in &page.owners {
                         self.mapping.update(owner, new_ppn)?;
@@ -534,7 +537,7 @@ impl Ssd {
                 }
                 PageState::Invalid => {
                     self.pool.remove_ppn(ppn);
-                    self.rmap.remove(&ppn);
+                    self.rmap.remove(ppn);
                 }
                 PageState::Free => {}
             }

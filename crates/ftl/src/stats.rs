@@ -48,7 +48,7 @@ impl SsdStats {
 /// Comparisons between runs use
 /// [`zssd_metrics::reduction_pct`]: e.g. Fig 9 plots
 /// `reduction_pct(baseline.flash_programs, dvp.flash_programs)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The system configuration that produced this run.
     pub system: SystemKind,

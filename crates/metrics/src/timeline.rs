@@ -36,7 +36,7 @@ pub struct WindowStat {
 /// assert_eq!(windows.len(), 2);
 /// assert_eq!(windows[1].max, SimDuration::from_micros(30));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
     samples: Vec<(SimTime, SimDuration)>,
 }

@@ -1,6 +1,6 @@
 //! The synthetic content-trace generator.
 
-use std::collections::HashMap;
+use zssd_types::FxHashMap;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -23,11 +23,11 @@ fn burstify<R: rand::Rng + ?Sized>(values: Vec<u64>, burst_len: f64, rng: &mut R
         values.shuffle(rng);
         return values;
     }
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
     for &v in &values {
         *counts.entry(v).or_insert(0) += 1;
     }
-    // Deterministic iteration order (HashMap order varies run to run).
+    // Sort for a deterministic run order regardless of hasher.
     let mut counts: Vec<(u64, u64)> = counts.into_iter().collect();
     counts.sort_unstable();
     let continue_p = 1.0 - 1.0 / burst_len;
@@ -122,7 +122,7 @@ impl SyntheticTrace {
         let write_addr = ZipfSampler::new(profile.lpn_space, profile.lpn_alpha);
         let read_addr = ZipfSampler::new(profile.lpn_space, profile.read_alpha);
 
-        let mut content: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut content: FxHashMap<Lpn, ValueId> = FxHashMap::default();
         let mut records = Vec::with_capacity(total);
         let mut next_value = 0usize;
         // Each value's "home" address: a fixed pseudo-random spot in
@@ -192,6 +192,12 @@ impl SyntheticTrace {
     /// All records, in issue order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
+    }
+
+    /// Consumes the trace, returning its records without copying —
+    /// for callers that share the buffer (e.g. `Arc<[TraceRecord]>`).
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
     }
 
     /// Number of days.
@@ -271,7 +277,7 @@ mod tests {
     #[test]
     fn reads_observe_last_written_content() {
         let t = small(WorkloadProfile::web());
-        let mut content: HashMap<Lpn, ValueId> = HashMap::new();
+        let mut content: FxHashMap<Lpn, ValueId> = FxHashMap::default();
         for r in t.records() {
             match r.op {
                 IoOp::Write => {

@@ -15,7 +15,10 @@
 //! * [`WriteClock`] — the paper's *logical* clock: "the ith incoming
 //!   write request has a timestamp of i" (§IV-A),
 //! * [`PopularityDegree`] — the saturating 1-byte per-LPN write counter
-//!   the paper adds to the mapping table (§IV-C).
+//!   the paper adds to the mapping table (§IV-C),
+//! * [`FxHashMap`] / [`FxHashSet`] — hash containers using the fast,
+//!   deterministic Fx hasher for the simulator's hot lookup structures
+//!   (dead-value pools, dedup index, trace content map).
 //!
 //! # Examples
 //!
@@ -38,12 +41,14 @@
 
 mod error;
 mod fingerprint;
+mod fx;
 mod ids;
 mod popularity;
 mod time;
 
 pub use error::{AddressError, ConfigError};
 pub use fingerprint::{Fingerprint, PageBuf, PAGE_SIZE_BYTES};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Lpn, Ppn, ValueId};
 pub use popularity::PopularityDegree;
 pub use time::{SimDuration, SimTime, WriteClock};

@@ -13,6 +13,7 @@ use zombie_ssd::core::{
 };
 use zombie_ssd::ftl::{Ssd, SsdConfig};
 use zombie_ssd::metrics::{Cdf, LatencyRecorder, ShareCurve};
+use zombie_ssd::trace::{SyntheticTrace, WorkloadProfile};
 use zombie_ssd::types::{
     Fingerprint, Lpn, PopularityDegree, Ppn, SimDuration, SimTime, ValueId, WriteClock,
 };
@@ -267,5 +268,89 @@ proptest! {
         if !system.uses_dedup() {
             prop_assert_eq!(valid, shadow.len() as u64, "one valid page per mapped LPN");
         }
+    }
+
+    /// The dense `Vec`-backed reverse map is a pure representation
+    /// change: driven through an arbitrary write/trim/read sequence it
+    /// must be observationally identical to the `HashMap` fallback
+    /// (`with_sparse_rmap(true)`), down to the full `RunReport`.
+    #[test]
+    fn dense_and_sparse_rmaps_are_observationally_identical(
+        ops in prop::collection::vec((0u64..192, 0u64..40, 0u8..8), 1..250),
+        system_pick in 0usize..8,
+    ) {
+        let system = [
+            SystemKind::Baseline,
+            SystemKind::MqDvp { entries: 24 },
+            SystemKind::LruDvp { entries: 24 },
+            SystemKind::Ideal,
+            SystemKind::LxSsd { entries: 24 },
+            SystemKind::Dedup,
+            SystemKind::DvpPlusDedup { entries: 24 },
+            SystemKind::AdaptiveDvp { min_entries: 8, max_entries: 64 },
+        ][system_pick];
+        let config = SsdConfig::small_test()
+            .without_precondition()
+            .with_system(system);
+        let mut dense = Ssd::new(config.clone()).expect("dense drive");
+        let mut sparse = Ssd::new(config.with_sparse_rmap(true)).expect("sparse drive");
+        let mut at_dense = SimTime::ZERO;
+        let mut at_sparse = SimTime::ZERO;
+        for (lpn, value, action) in ops {
+            let lpn = Lpn::new(lpn);
+            match action {
+                0..=4 => {
+                    at_dense = dense.write(lpn, ValueId::new(value), at_dense).expect("write");
+                    at_sparse = sparse.write(lpn, ValueId::new(value), at_sparse).expect("write");
+                }
+                5 => {
+                    dense.trim(lpn).expect("trim");
+                    sparse.trim(lpn).expect("trim");
+                }
+                _ => {
+                    let (got_dense, done_dense) = dense.read(lpn, at_dense).expect("read");
+                    let (got_sparse, done_sparse) = sparse.read(lpn, at_sparse).expect("read");
+                    prop_assert_eq!(got_dense, got_sparse, "read value diverged at {}", lpn);
+                    prop_assert_eq!(done_dense, done_sparse, "read latency diverged at {}", lpn);
+                    at_dense = done_dense;
+                    at_sparse = done_sparse;
+                }
+            }
+        }
+        prop_assert_eq!(dense.into_report(), sparse.into_report());
+    }
+}
+
+proptest! {
+    // Full synthetic-trace replays are heavier than the op-sequence
+    // cases above, so run fewer of them.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same equivalence, end to end: a randomly seeded synthetic trace
+    /// replayed through both reverse-map representations yields the
+    /// exact same `RunReport`.
+    #[test]
+    fn dense_rmap_matches_sparse_on_random_traces(
+        seed in any::<u64>(),
+        system_pick in 0usize..8,
+    ) {
+        let system = [
+            SystemKind::Baseline,
+            SystemKind::MqDvp { entries: 512 },
+            SystemKind::LruDvp { entries: 512 },
+            SystemKind::Ideal,
+            SystemKind::LxSsd { entries: 512 },
+            SystemKind::Dedup,
+            SystemKind::DvpPlusDedup { entries: 512 },
+            SystemKind::AdaptiveDvp { min_entries: 64, max_entries: 1024 },
+        ][system_pick];
+        let profile = WorkloadProfile::mail().scaled(0.001).with_days(1);
+        let trace = SyntheticTrace::generate(&profile, seed);
+        let config = SsdConfig::for_footprint(profile.lpn_space).with_system(system);
+        let dense = Ssd::new(config.clone()).expect("dense drive");
+        let sparse = Ssd::new(config.with_sparse_rmap(true)).expect("sparse drive");
+        let dense_report = dense.run_trace(trace.records()).expect("dense run");
+        let sparse_report = sparse.run_trace(trace.records()).expect("sparse run");
+        prop_assert_eq!(dense_report, sparse_report);
     }
 }

@@ -1,0 +1,394 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched, iter_batched_ref}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros —
+//! measured with plain wall-clock timing:
+//!
+//! 1. warm up for `warm_up_time`,
+//! 2. pick an iteration count so one sample spans roughly
+//!    `measurement_time / sample_size`,
+//! 3. collect `sample_size` samples and report min / mean / max
+//!    per-iteration time.
+//!
+//! No statistics engine, plots, or saved baselines — the output format
+//! (`name  time: [low mean high]`) matches criterion closely enough
+//! for eyeballs and scripts that grep the mean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Parses command-line arguments. The real crate supports filters
+    /// and baselines; offline this only swallows cargo-bench's
+    /// `--bench` flag so `cargo bench` works unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<S: Into<String>>(
+        &mut self,
+        id: S,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        if !selected(&id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            config: self.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        if let Some(report) = bencher.report {
+            println!("{}", report.render(&id));
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// Returns true when `id` passes the (optional) substring filter given
+/// on the command line, as `cargo bench <filter>` does.
+fn selected(id: &str) -> bool {
+    let mut saw_flag = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--bench" || arg.starts_with('-') {
+            saw_flag = true;
+            continue;
+        }
+        let _ = saw_flag;
+        return id.contains(&arg);
+    }
+    true
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name` id).
+    pub fn bench_function<S: Into<String>>(
+        &mut self,
+        id: S,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config = config.sample_size(n);
+        }
+        if let Some(t) = self.measurement_time {
+            config = config.measurement_time(t);
+        }
+        let full = format!("{}/{}", self.name, id.into());
+        config.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup cost. Offline, only the
+/// batch-size heuristic differs; all variants time the routine alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: one setup per few iterations.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+struct Report {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Report {
+    fn render(&self, id: &str) -> String {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let max = sorted.last().copied().unwrap_or(0.0);
+        let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        format!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures; handed to each benchmark function.
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_until = Instant::now() + self.config.warm_up_time.min(Duration::from_secs(1));
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let samples = self.config.sample_size;
+        let budget_ns = self.config.measurement_time.as_nanos() as f64 / samples as f64;
+        let iters_per_sample = ((budget_ns / est_ns).round() as u64).clamp(1, 10_000_000);
+
+        let mut report = Report {
+            samples: Vec::with_capacity(samples),
+        };
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            report.samples.push(elapsed / iters_per_sample as f64);
+        }
+        self.report = Some(report);
+    }
+
+    /// Times `routine` over owned inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let samples = self.config.sample_size;
+        let mut report = Report {
+            samples: Vec::with_capacity(samples),
+        };
+        // One setup + timed call per sample: simple and predictable.
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            report.samples.push(start.elapsed().as_nanos() as f64);
+        }
+        self.report = Some(report);
+    }
+
+    /// Times `routine` over mutable references to inputs built by
+    /// `setup`; setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let samples = self.config.sample_size;
+        let mut report = Report {
+            samples: Vec::with_capacity(samples),
+        };
+        for _ in 0..samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            report.samples.push(start.elapsed().as_nanos() as f64);
+        }
+        self.report = Some(report);
+    }
+}
+
+/// An owned benchmark id (`BenchmarkId::new("group", param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.0
+    }
+}
+
+/// Declares a group of benchmark functions, with optional config:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut hits = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0, "routine must have run");
+    }
+
+    #[test]
+    fn iter_batched_ref_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut setups = 0u64;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.pop(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,346 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the small slice of `rand` 0.9's API it actually uses:
+//!
+//! * [`rngs::SmallRng`] / [`rngs::StdRng`] — xoshiro256++ seeded via
+//!   SplitMix64 (the same generator family `rand` 0.9 uses for
+//!   `SmallRng` on 64-bit targets),
+//! * [`Rng::random`] and [`Rng::random_range`],
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates),
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`].
+//!
+//! Everything is deterministic per seed, which is all the simulator
+//! needs: traces are reproducible, not cryptographic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// A source of random `u64`s plus the typed convenience methods the
+/// workspace uses. Implemented by every RNG in [`rngs`].
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly distributed value of a primitive type.
+    /// `f64`/`f32` are uniform in `[0, 1)`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Draws a value uniformly from `range` (half-open). Unbiased via
+    /// rejection sampling on the widening-multiply method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_range(range, &mut || self.next_u64())
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bits = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bits[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`Rng::random`] can produce from 64 raw bits.
+pub trait Standard {
+    /// Converts 64 uniform bits into a uniform value of `Self`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        ((bits >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+/// Integer types [`Rng::random_range`] can sample.
+pub trait UniformInt: Sized {
+    /// Samples uniformly from the half-open range using the provided
+    /// 64-bit source.
+    fn sample_range(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u64;
+                // Widening multiply with rejection of the biased zone.
+                let zone = span.wrapping_neg() % span;
+                loop {
+                    let raw = next();
+                    let wide = (raw as u128) * (span as u128);
+                    if (wide as u64) >= zone {
+                        return range.start + ((wide >> 64) as u64 as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same expansion `rand` uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bits = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bits[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// The "standard" RNG. The real crate uses ChaCha12; offline we
+    /// only promise determinism, not crypto, so this is the same
+    /// xoshiro generator under a different seed schedule.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng(SmallRng);
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng(SmallRng::from_seed(seed))
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait providing `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates, unbiased).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Convenience: a generator seeded from entropy. Offline builds have
+/// no OS entropy guarantee, so this seeds from the system clock —
+/// callers that need reproducibility use [`SeedableRng`] anyway.
+pub fn rng() -> rngs::SmallRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_is_unbiased_and_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            let v = rng.random_range(10u64..15);
+            assert!((10..15).contains(&v));
+            counts[(v - 10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.random_range(5u64..5);
+    }
+}
