@@ -5,14 +5,18 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig11_mean_latency`.
 
 use zssd_bench::{
-    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
-    PAPER_POOL_ENTRIES,
+    arrival_spec, experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries,
+    TextTable, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_metrics::reduction_pct;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Figure 11: % mean latency improvement vs Baseline\n");
+    println!("Figure 11: % mean latency improvement vs Baseline");
+    println!(
+        "arrivals: {} (set ZSSD_ARRIVAL to poisson or bursty)\n",
+        arrival_spec()
+    );
     let entries = scaled_entries(PAPER_POOL_ENTRIES);
     let systems = [
         SystemKind::Baseline,

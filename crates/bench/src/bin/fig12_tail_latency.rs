@@ -4,21 +4,45 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig12_tail_latency`.
 
 use zssd_bench::{
-    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
-    PAPER_POOL_ENTRIES,
+    arrival_spec, experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries,
+    TextTable, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
+use zssd_ftl::RunReport;
 use zssd_metrics::reduction_pct;
 
+/// p99/p50 across all requests — how much of the tail is queueing and
+/// GC stalls rather than the typical service time. Bursty and Poisson
+/// arrivals widen this gap; uniform arrivals hide it.
+fn tail_gap(report: &RunReport) -> String {
+    let p50 = report.all_latency.p50.as_nanos() as f64;
+    if p50 == 0.0 {
+        return "-".into();
+    }
+    format!("{:.2}x", report.tail_latency().as_nanos() as f64 / p50)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Figure 12: % tail (p99) latency improvement vs Baseline\n");
+    println!("Figure 12: % tail (p99) latency improvement vs Baseline");
+    println!(
+        "arrivals: {} (set ZSSD_ARRIVAL to poisson or bursty)\n",
+        arrival_spec()
+    );
     let systems = [
         SystemKind::Baseline,
         SystemKind::MqDvp {
             entries: scaled_entries(PAPER_POOL_ENTRIES),
         },
     ];
-    let mut table = TextTable::new(vec!["trace", "improvement", "baseline p99", "DVP p99"]);
+    let mut table = TextTable::new(vec![
+        "trace",
+        "improvement",
+        "baseline p99",
+        "DVP p99",
+        "baseline p50",
+        "baseline p99/p50",
+        "DVP p99/p50",
+    ]);
     let mut mean = 0.0f64;
     let profiles = experiment_profiles();
     let all = run_grid(grid_for(&profiles, &systems))?;
@@ -32,12 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pct(improvement),
             base.to_string(),
             dvp.to_string(),
+            reports[0].all_latency.p50.to_string(),
+            tail_gap(&reports[0]),
+            tail_gap(&reports[1]),
         ]);
         eprintln!("  [{}] done", profile.name);
     }
     table.row(vec![
         "MEAN".into(),
         pct(mean / profiles.len() as f64),
+        "-".into(),
+        "-".into(),
+        "-".into(),
         "-".into(),
         "-".into(),
     ]);

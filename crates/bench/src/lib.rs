@@ -24,7 +24,7 @@ use std::fmt::Display;
 
 use zssd_core::SystemKind;
 use zssd_ftl::{RunReport, SsdConfig, SsdError};
-use zssd_trace::{SyntheticTrace, TraceRecord, WorkloadProfile};
+use zssd_trace::{ArrivalProcess, SyntheticTrace, TraceRecord, WorkloadProfile};
 
 pub use grid::{grid_for, grid_threads, run_grid, run_grid_with_threads, shared_traces, GridCell};
 
@@ -46,6 +46,27 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(42)
+}
+
+/// The arrival-process spec from `ZSSD_ARRIVAL` (default `constant`).
+/// Accepted specs: `constant` (alias `uniform`/`fixed`), `poisson`,
+/// `bursty`, `bursty:<mean-burst-len>` — see
+/// [`ArrivalProcess::from_spec`].
+pub fn arrival_spec() -> String {
+    std::env::var("ZSSD_ARRIVAL").unwrap_or_else(|_| "constant".to_owned())
+}
+
+/// Resolves [`arrival_spec`] against a mean inter-arrival gap and the
+/// configured seed.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when `ZSSD_ARRIVAL` holds an
+/// unknown spec — experiments should fail loudly, not silently fall
+/// back to uniform arrivals.
+pub fn arrival_for(mean: zssd_types::SimDuration) -> ArrivalProcess {
+    let spec = arrival_spec();
+    ArrivalProcess::from_spec(&spec, mean, seed()).unwrap_or_else(|e| panic!("ZSSD_ARRIVAL: {e}"))
 }
 
 /// Pool entry capacity scaled with the trace scale, so "200 K entries"
@@ -79,11 +100,14 @@ pub fn trace_for(profile: &WorkloadProfile) -> SyntheticTrace {
 
 /// Builds the drive configuration for a profile/system pair. The
 /// dedup fingerprint index gets the same RAM budget as the paper's
-/// pool (200 K entries), scaled with the traces.
+/// pool (200 K entries), scaled with the traces. The arrival process
+/// comes from `ZSSD_ARRIVAL`, keeping the config's default mean gap.
 pub fn config_for(profile: &WorkloadProfile, system: SystemKind) -> SsdConfig {
-    SsdConfig::for_footprint(profile.lpn_space)
+    let config = SsdConfig::for_footprint(profile.lpn_space)
         .with_system(system)
-        .with_dedup_index_entries(scaled_entries(PAPER_POOL_ENTRIES))
+        .with_dedup_index_entries(scaled_entries(PAPER_POOL_ENTRIES));
+    let arrival = arrival_for(config.arrival.mean_interval());
+    config.with_arrival(arrival)
 }
 
 /// Runs one full-system simulation of `records` under `system`, sized

@@ -4,7 +4,10 @@ use std::error::Error;
 
 use zssd_core::SystemKind;
 use zssd_ftl::{Ssd, SsdConfig};
-use zssd_trace::{read_file, write_file, SyntheticTrace, TraceRecord, TraceStats, WorkloadProfile};
+use zssd_trace::{
+    read_file, write_file, ArrivalProcess, SyntheticTrace, TraceRecord, TraceStats, WorkloadProfile,
+};
+use zssd_types::SimDuration;
 
 use crate::args::{ArgError, Args};
 
@@ -20,16 +23,22 @@ COMMANDS:
     list                             workloads and systems available
     gen      --workload W --out F    generate a trace file
              [--scale S] [--seed N] [--days D]
+             [--arrival A] [--interval-us U]   stamp arrival times
     run      --workload W --system SYS   simulate a generated trace
              [--entries N] [--scale S] [--seed N] [--days D]
+             [--arrival A] [--interval-us U]
     replay   --trace F --system SYS      simulate a trace file
-             [--entries N] [--footprint P]
+             [--entries N] [--footprint P] [--seed N]
+             [--arrival A] [--interval-us U]
     analyze  --workload W            value life-cycle characterization
              [--scale S] [--seed N]
     help                             this text
 
 SYSTEMS (for --system):
     baseline | dvp | lru-dvp | ideal | lxssd | dedup | dvp-dedup
+
+ARRIVALS (for --arrival; --interval-us sets the mean gap):
+    constant | poisson | bursty | bursty:<mean-burst-len>
 ";
 
 /// Routes a command line to its implementation.
@@ -80,6 +89,62 @@ fn system(name: &str, entries: usize) -> Result<SystemKind, ArgError> {
     })
 }
 
+/// The `--arrival`/`--interval-us` pair, resolved lazily so the mean
+/// gap can default to whatever the drive config would use anyway.
+struct ArrivalFlags {
+    spec: Option<String>,
+    interval: Option<SimDuration>,
+    seed: u64,
+}
+
+impl ArrivalFlags {
+    fn from_args(args: &Args) -> Result<ArrivalFlags, Box<dyn Error>> {
+        let interval = match args.optional("interval-us") {
+            None => None,
+            Some(raw) => {
+                Some(SimDuration::from_micros(raw.parse().map_err(|e| {
+                    ArgError(format!("bad value for --interval-us: {e}"))
+                })?))
+            }
+        };
+        Ok(ArrivalFlags {
+            spec: args.optional("arrival").map(str::to_owned),
+            interval,
+            seed: args.parse_or("seed", 42)?,
+        })
+    }
+
+    /// Applies the flags to a drive config; absent flags leave the
+    /// config's own arrival process untouched.
+    fn apply(&self, mut config: SsdConfig) -> Result<SsdConfig, ArgError> {
+        if let Some(gap) = self.interval {
+            config = config.with_arrival_interval(gap);
+        }
+        if let Some(spec) = &self.spec {
+            let mean = config.arrival.mean_interval();
+            let process = ArrivalProcess::from_spec(spec, mean, self.seed).map_err(ArgError)?;
+            config = config.with_arrival(process);
+        }
+        Ok(config)
+    }
+
+    /// The concrete process to stamp generated traces with, or `None`
+    /// when neither flag was given (records stay unstamped and replay
+    /// falls back to the drive's configured spacing).
+    fn process(&self) -> Result<Option<ArrivalProcess>, ArgError> {
+        match (&self.spec, self.interval) {
+            (None, None) => Ok(None),
+            (None, Some(gap)) => Ok(Some(ArrivalProcess::constant(gap))),
+            (Some(spec), interval) => {
+                let mean = interval.unwrap_or(SimDuration::from_micros(1_000));
+                Ok(Some(
+                    ArrivalProcess::from_spec(spec, mean, self.seed).map_err(ArgError)?,
+                ))
+            }
+        }
+    }
+}
+
 fn scaled_profile(args: &Args) -> Result<WorkloadProfile, Box<dyn Error>> {
     let mut profile = workload(args.required("workload")?)?;
     let scale: f64 = args.parse_or("scale", 1.0)?;
@@ -113,20 +178,41 @@ fn list() -> CliResult {
 }
 
 fn gen(argv: &[String]) -> CliResult {
-    let args = Args::parse(argv, &["workload", "out", "scale", "seed", "days"])?;
+    let args = Args::parse(
+        argv,
+        &[
+            "workload",
+            "out",
+            "scale",
+            "seed",
+            "days",
+            "arrival",
+            "interval-us",
+        ],
+    )?;
     let profile = scaled_profile(&args)?;
     let out = args.required("out")?;
     let seed: u64 = args.parse_or("seed", 42)?;
     let trace = SyntheticTrace::generate(&profile, seed);
-    write_file(trace.records(), out)?;
-    let stats = TraceStats::measure(trace.records());
-    println!("wrote {} records to {out}", trace.records().len());
+    let mut records = trace.records().to_vec();
+    if let Some(process) = ArrivalFlags::from_args(&args)?.process()? {
+        process.stamp(&mut records);
+        println!("stamped arrivals: {process}");
+    }
+    write_file(&records, out)?;
+    let stats = TraceStats::measure(&records);
+    println!("wrote {} records to {out}", records.len());
     println!("{stats}");
     Ok(())
 }
 
-fn simulate(records: &[TraceRecord], footprint: u64, system: SystemKind) -> CliResult {
-    let config = SsdConfig::for_footprint(footprint).with_system(system);
+fn simulate(
+    records: &[TraceRecord],
+    footprint: u64,
+    system: SystemKind,
+    arrival: &ArrivalFlags,
+) -> CliResult {
+    let config = arrival.apply(SsdConfig::for_footprint(footprint).with_system(system))?;
     eprintln!(
         "simulating {} requests on {} ({} physical pages, OP {:.1}%)...",
         records.len(),
@@ -146,18 +232,39 @@ fn simulate(records: &[TraceRecord], footprint: u64, system: SystemKind) -> CliR
 fn run(argv: &[String]) -> CliResult {
     let args = Args::parse(
         argv,
-        &["workload", "system", "entries", "scale", "seed", "days"],
+        &[
+            "workload",
+            "system",
+            "entries",
+            "scale",
+            "seed",
+            "days",
+            "arrival",
+            "interval-us",
+        ],
     )?;
     let profile = scaled_profile(&args)?;
     let entries: usize = args.parse_or("entries", 200_000)?;
     let system = system(args.required("system")?, entries)?;
     let seed: u64 = args.parse_or("seed", 42)?;
     let trace = SyntheticTrace::generate(&profile, seed);
-    simulate(trace.records(), profile.lpn_space, system)
+    let arrival = ArrivalFlags::from_args(&args)?;
+    simulate(trace.records(), profile.lpn_space, system, &arrival)
 }
 
 fn replay(argv: &[String]) -> CliResult {
-    let args = Args::parse(argv, &["trace", "system", "entries", "footprint"])?;
+    let args = Args::parse(
+        argv,
+        &[
+            "trace",
+            "system",
+            "entries",
+            "footprint",
+            "seed",
+            "arrival",
+            "interval-us",
+        ],
+    )?;
     let records = read_file(args.required("trace")?)?;
     let entries: usize = args.parse_or("entries", 200_000)?;
     let system = system(args.required("system")?, entries)?;
@@ -167,7 +274,8 @@ fn replay(argv: &[String]) -> CliResult {
         .max()
         .unwrap_or(64);
     let footprint: u64 = args.parse_or("footprint", max_lpn.max(64))?;
-    simulate(&records, footprint, system)
+    let arrival = ArrivalFlags::from_args(&args)?;
+    simulate(&records, footprint, system, &arrival)
 }
 
 fn analyze(argv: &[String]) -> CliResult {
@@ -279,6 +387,82 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         dispatch(&argv).expect("analyze");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn gen_stamps_arrivals_and_replay_honors_arrival_flags() {
+        let dir = std::env::temp_dir().join(format!("zssd-cli-arrival-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("stamped.trace");
+        let path_str = path.to_str().expect("utf8 path").to_owned();
+        let argv: Vec<String> = [
+            "gen",
+            "--workload",
+            "trans",
+            "--out",
+            &path_str,
+            "--scale",
+            "0.002",
+            "--seed",
+            "1",
+            "--arrival",
+            "poisson",
+            "--interval-us",
+            "500",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("gen with stamped arrivals");
+        let records = read_file(&path).expect("readable");
+        assert!(
+            records.iter().all(|r| r.arrival.is_some()),
+            "gen --arrival must stamp every record"
+        );
+        let argv: Vec<String> = [
+            "replay",
+            "--trace",
+            &path_str,
+            "--system",
+            "baseline",
+            "--entries",
+            "64",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("replay of a stamped trace");
+        // An unstamped run accepts the arrival flags too.
+        let argv: Vec<String> = [
+            "run",
+            "--workload",
+            "trans",
+            "--system",
+            "dvp",
+            "--scale",
+            "0.002",
+            "--entries",
+            "64",
+            "--arrival",
+            "bursty:8",
+            "--interval-us",
+            "200",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("run with bursty arrivals");
+        assert!(dispatch(&[
+            "run".into(),
+            "--workload".into(),
+            "trans".into(),
+            "--system".into(),
+            "dvp".into(),
+            "--arrival".into(),
+            "tidal".into()
+        ])
+        .is_err());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

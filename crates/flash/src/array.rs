@@ -135,7 +135,11 @@ pub struct FlashStats {
 /// State changes that involve no flash command — [`invalidate_page`]
 /// (a mapping update) and [`revive_page`] (the paper's short-circuited
 /// write) — take zero simulated time here; the controller-side costs
-/// (hashing) are charged by the FTL layer.
+/// (hashing) are charged by the FTL layer, and the completion itself
+/// goes through [`controller_complete`] so fast-path requests still
+/// queue behind an occupied device.
+///
+/// [`controller_complete`]: FlashArray::controller_complete
 ///
 /// [`invalidate_page`]: FlashArray::invalidate_page
 /// [`revive_page`]: FlashArray::revive_page
@@ -146,6 +150,7 @@ pub struct FlashArray {
     blocks: Vec<Block>,
     chip_busy_until: Vec<SimTime>,
     channel_busy_until: Vec<SimTime>,
+    controller_busy_until: SimTime,
     stats: FlashStats,
 }
 
@@ -160,6 +165,7 @@ impl FlashArray {
                 .collect(),
             chip_busy_until: vec![SimTime::ZERO; geometry.total_chips() as usize],
             channel_busy_until: vec![SimTime::ZERO; geometry.channels() as usize],
+            controller_busy_until: SimTime::ZERO,
             stats: FlashStats::default(),
         }
     }
@@ -474,11 +480,43 @@ impl FlashArray {
         self.chip_busy_until[self.geometry.chip_of(ppn) as usize]
     }
 
+    /// Completes a request on the *controller's* fast path — a revival,
+    /// a dedup hit, or an unmapped read — without issuing any NAND
+    /// command. Even these short-circuited requests occupy the host
+    /// interface: completion waits for the controller to be free, and
+    /// when the request's content sits on flash (`ppn` is `Some`) also
+    /// for that page's channel, then holds the controller for one 4 KB
+    /// transfer. The channel itself is **not** occupied — no flash
+    /// command crosses it — so this models a device answering from
+    /// mapping state while the array keeps working.
+    ///
+    /// Returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ppn` is outside the device.
+    pub fn controller_complete(
+        &mut self,
+        ppn: Option<Ppn>,
+        at: SimTime,
+    ) -> Result<SimTime, FlashOpError> {
+        let mut start = at.max(self.controller_busy_until);
+        if let Some(ppn) = ppn {
+            self.check_ppn(ppn)?;
+            let channel = self.geometry.channel_of(ppn) as usize;
+            start = start.max(self.channel_busy_until[channel]);
+        }
+        let done = start + self.timing.transfer;
+        self.controller_busy_until = done;
+        Ok(done)
+    }
+
     /// Forgets all busy times (used after preconditioning fills, so
     /// warm-up programs do not delay the measured trace).
     pub fn reset_time(&mut self) {
         self.chip_busy_until.fill(SimTime::ZERO);
         self.channel_busy_until.fill(SimTime::ZERO);
+        self.controller_busy_until = SimTime::ZERO;
     }
 
     /// Zeroes the operation counters (used after preconditioning).
@@ -794,12 +832,60 @@ mod tests {
     }
 
     #[test]
+    fn controller_completions_serialize_on_the_controller() {
+        let mut flash = tiny();
+        let t = FlashTiming::paper_table1();
+        let d1 = flash
+            .controller_complete(None, SimTime::ZERO)
+            .expect("first");
+        assert_eq!(d1, SimTime::ZERO + t.transfer);
+        let d2 = flash
+            .controller_complete(None, SimTime::ZERO)
+            .expect("second");
+        assert_eq!(d2, d1 + t.transfer, "same-instant completions queue");
+        // Out-of-range pages are rejected.
+        let bad = Ppn::new(flash.geometry().total_pages());
+        assert!(matches!(
+            flash.controller_complete(Some(bad), SimTime::ZERO),
+            Err(FlashOpError::Address(_))
+        ));
+    }
+
+    #[test]
+    fn controller_completion_waits_for_a_busy_channel() {
+        let mut flash = tiny();
+        let t = FlashTiming::paper_table1();
+        let ppn = Ppn::new(0);
+        flash.program_page(ppn, SimTime::ZERO).expect("program");
+        // Read holds the channel until its transfer finishes.
+        let read_done = flash.read_page(ppn, SimTime::ZERO).expect("read");
+        let done = flash
+            .controller_complete(Some(ppn), SimTime::ZERO)
+            .expect("complete");
+        assert_eq!(done, read_done + t.transfer, "waits out the channel");
+        // A flash-free completion ignores channels entirely.
+        let free = flash.controller_complete(None, SimTime::ZERO).expect("ok");
+        assert_eq!(free, done + t.transfer, "only the controller serializes");
+    }
+
+    #[test]
     fn reset_time_and_stats_clear_state() {
         let mut flash = tiny();
         flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        flash
+            .controller_complete(None, SimTime::ZERO)
+            .expect("controller");
         assert!(flash.chip_free_at(Ppn::new(0)) > SimTime::ZERO);
         flash.reset_time();
         assert_eq!(flash.chip_free_at(Ppn::new(0)), SimTime::ZERO);
+        let d = flash
+            .controller_complete(None, SimTime::ZERO)
+            .expect("controller");
+        assert_eq!(
+            d,
+            SimTime::ZERO + FlashTiming::paper_table1().transfer,
+            "controller busy-until cleared"
+        );
         assert_eq!(flash.stats().programs.get(), 1);
         flash.reset_stats();
         assert_eq!(flash.stats().programs.get(), 0);

@@ -2,6 +2,7 @@
 
 use zssd_core::{MqConfig, SystemKind};
 use zssd_flash::{FlashTiming, Geometry};
+use zssd_trace::ArrivalProcess;
 use zssd_types::{ConfigError, SimDuration};
 
 /// Full configuration of a simulated drive.
@@ -45,8 +46,18 @@ pub struct SsdConfig {
     pub logical_pages: u64,
     /// Minimum spare-capacity fraction (Table I: OP = 15%).
     pub min_over_provisioning: f64,
-    /// Host inter-arrival gap between consecutive requests.
-    pub arrival_interval: SimDuration,
+    /// How unstamped requests are spaced on the wall clock. Records
+    /// carrying their own [`TraceRecord::arrival`] timestamp override
+    /// this per request.
+    ///
+    /// [`TraceRecord::arrival`]: zssd_trace::TraceRecord
+    pub arrival: ArrivalProcess,
+    /// Verify that every replayed read returns the content the trace
+    /// recorded for it (a debug assertion; mismatches are counted in
+    /// [`RunReport::read_mismatches`] either way).
+    ///
+    /// [`RunReport::read_mismatches`]: crate::RunReport
+    pub verify_reads: bool,
     /// GC starts when a plane's free-block count drops below this.
     pub gc_low_watermark: u32,
     /// Use the §IV-D popularity-aware victim selector instead of
@@ -88,10 +99,11 @@ impl SsdConfig {
             // amplification (~3.5-4 NAND programs per host write,
             // each ~500 µs of chip time counting the program, the GC
             // read, and the amortized erase) over 8 chips, a 1 ms
-            // inter-arrival gap leaves baseline utilization around
-            // 20-25%, so latency reflects GC-burst queueing rather
-            // than unbounded backlog.
-            arrival_interval: SimDuration::from_micros(1000),
+            // mean inter-arrival gap leaves baseline utilization
+            // around 20-25%, so latency reflects GC-burst queueing
+            // rather than unbounded backlog.
+            arrival: ArrivalProcess::constant(SimDuration::from_micros(1000)),
+            verify_reads: true,
             gc_low_watermark: 2,
             popularity_aware_gc: true,
             gc_popularity_weight: 0.5,
@@ -165,9 +177,23 @@ impl SsdConfig {
         self
     }
 
-    /// Overrides the host inter-arrival gap.
-    pub fn with_arrival_interval(mut self, interval: SimDuration) -> Self {
-        self.arrival_interval = interval;
+    /// Overrides the host inter-arrival gap with a constant-interval
+    /// process (sugar for `with_arrival(ArrivalProcess::constant(..))`,
+    /// kept because most tests and ablations want exactly this).
+    pub fn with_arrival_interval(self, interval: SimDuration) -> Self {
+        self.with_arrival(ArrivalProcess::constant(interval))
+    }
+
+    /// Overrides the arrival process for unstamped requests.
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Enables or disables read-verification debug assertions (the
+    /// mismatch counter stays active regardless).
+    pub fn with_verify_reads(mut self, verify: bool) -> Self {
+        self.verify_reads = verify;
         self
     }
 
@@ -257,6 +283,7 @@ impl SsdConfig {
                 "dedup_index_entries must be nonzero for deduplicating systems",
             ));
         }
+        self.arrival.validate().map_err(ConfigError::new)?;
         Ok(())
     }
 }
@@ -329,6 +356,27 @@ mod tests {
         c.validate().expect("baseline ignores dedup budget");
         let c = SsdConfig::small_test().with_dedup_index_entries(77);
         assert_eq!(c.dedup_index_entries, 77);
+    }
+
+    #[test]
+    fn arrival_builders_and_validation() {
+        let c = SsdConfig::small_test().with_arrival_interval(SimDuration::from_micros(10));
+        assert_eq!(
+            c.arrival,
+            ArrivalProcess::constant(SimDuration::from_micros(10))
+        );
+        let c = SsdConfig::small_test()
+            .with_arrival(ArrivalProcess::poisson(SimDuration::from_micros(500), 3));
+        c.validate().expect("poisson config valid");
+        let mut c = SsdConfig::small_test();
+        c.arrival = ArrivalProcess::poisson(SimDuration::ZERO, 0);
+        assert!(c.validate().is_err(), "degenerate arrivals rejected");
+        assert!(SsdConfig::small_test().verify_reads);
+        assert!(
+            !SsdConfig::small_test()
+                .with_verify_reads(false)
+                .verify_reads
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct SsdStats {
     pub gc_collections: u64,
     /// Host TRIM/discard commands serviced.
     pub trims: u64,
+    /// Replayed reads whose returned content differed from the value
+    /// the trace recorded — any nonzero count is an FTL consistency
+    /// bug (or a trace replayed against the wrong initial state).
+    pub read_mismatches: u64,
     /// Write latencies.
     pub write_latency: LatencyRecorder,
     /// Read latencies.
@@ -73,6 +77,11 @@ pub struct RunReport {
     pub deduped_writes: u64,
     /// GC victim collections.
     pub gc_collections: u64,
+    /// Host TRIM/discard commands serviced.
+    pub trims: u64,
+    /// Replayed reads returning content other than what the trace
+    /// recorded (should always be zero; see [`SsdStats::read_mismatches`]).
+    pub read_mismatches: u64,
     /// Dead-value-pool counters.
     pub pool: PoolStats,
     /// Dedup counters, when the system deduplicates.
@@ -158,6 +167,8 @@ mod tests {
             revived_writes: 20,
             deduped_writes: 0,
             gc_collections: 5,
+            trims: 0,
+            read_mismatches: 0,
             pool: PoolStats::default(),
             dedup: None,
             wear: WearSummary {

@@ -16,6 +16,9 @@
 //!   paper's figures are consecutive days of the same server),
 //! * [`TraceStats`] — measures the Table II aggregates of any record
 //!   slice so the calibration is auditable,
+//! * [`ArrivalProcess`] — arrival-timestamp generators (constant,
+//!   Poisson, bursty on/off) for stamping when each request hits the
+//!   device,
 //! * [`write_text`]/[`parse_text`] — an FIU-like text format.
 //!
 //! # Examples
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod profile;
 mod record;
 mod stats;
@@ -42,6 +46,7 @@ mod synth;
 mod text;
 mod zipf;
 
+pub use arrival::{ArrivalProcess, ArrivalTimes, DEFAULT_BURST_LEN};
 pub use profile::WorkloadProfile;
 pub use record::{initial_value_of, IoOp, TraceRecord, INITIAL_VALUE_BASE};
 pub use stats::TraceStats;

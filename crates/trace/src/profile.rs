@@ -64,6 +64,10 @@ pub struct WorkloadProfile {
     /// — the death/rebirth cycle the paper exploits. `1.0` spreads
     /// homes over the whole footprint.
     pub home_region_frac: f64,
+    /// Fraction of requests that are TRIMs (host discards). The FIU
+    /// traces predate widespread TRIM, so every paper preset uses
+    /// `0.0`; [`WorkloadProfile::with_trim_ratio`] opts a workload in.
+    pub trim_ratio: f64,
 }
 
 impl WorkloadProfile {
@@ -82,6 +86,7 @@ impl WorkloadProfile {
             home_affinity: 0.8,
             burst_len: 4.0,
             home_region_frac: 0.03,
+            trim_ratio: 0.0,
         }
     }
 
@@ -101,6 +106,7 @@ impl WorkloadProfile {
             home_affinity: 0.75,
             burst_len: 3.0,
             home_region_frac: 0.05,
+            trim_ratio: 0.0,
         }
     }
 
@@ -121,6 +127,7 @@ impl WorkloadProfile {
             home_affinity: 0.9,
             burst_len: 6.0,
             home_region_frac: 0.02,
+            trim_ratio: 0.0,
         }
     }
 
@@ -139,6 +146,7 @@ impl WorkloadProfile {
             home_affinity: 0.65,
             burst_len: 2.5,
             home_region_frac: 0.1,
+            trim_ratio: 0.0,
         }
     }
 
@@ -158,6 +166,7 @@ impl WorkloadProfile {
             home_affinity: 0.5,
             burst_len: 2.0,
             home_region_frac: 0.1,
+            trim_ratio: 0.0,
         }
     }
 
@@ -178,6 +187,7 @@ impl WorkloadProfile {
             home_affinity: 0.5,
             burst_len: 2.0,
             home_region_frac: 0.25,
+            trim_ratio: 0.0,
         }
     }
 
@@ -228,6 +238,20 @@ impl WorkloadProfile {
         self
     }
 
+    /// Same profile with `ratio` of its requests issued as TRIMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= ratio < 1`.
+    pub fn with_trim_ratio(mut self, ratio: f64) -> WorkloadProfile {
+        assert!(
+            ratio.is_finite() && (0.0..1.0).contains(&ratio),
+            "trim ratio must be in [0, 1)"
+        );
+        self.trim_ratio = ratio;
+        self
+    }
+
     /// Total requests across all days.
     pub fn total_requests(&self) -> u64 {
         self.requests_per_day * u64::from(self.days)
@@ -273,6 +297,21 @@ mod tests {
         let p = WorkloadProfile::mail().with_days(5);
         assert_eq!(p.days, 5);
         assert_eq!(p.total_requests(), 5 * p.requests_per_day);
+    }
+
+    #[test]
+    fn trim_ratio_defaults_off_and_opts_in() {
+        for p in WorkloadProfile::paper_set() {
+            assert_eq!(p.trim_ratio, 0.0, "{}", p.name);
+        }
+        let p = WorkloadProfile::web().with_trim_ratio(0.1);
+        assert_eq!(p.trim_ratio, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim ratio")]
+    fn bad_trim_ratio_rejected() {
+        let _ = WorkloadProfile::web().with_trim_ratio(1.5);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use zssd_types::{Fingerprint, Lpn, ValueId};
+use zssd_types::{Fingerprint, Lpn, SimTime, ValueId};
 
 /// Value-id offset marking *pre-trace* device content: reading an LPN
 /// the trace never wrote observes `INITIAL_VALUE_BASE + lpn`, a value
@@ -31,6 +31,9 @@ pub enum IoOp {
     Read,
     /// A 4 KB write.
     Write,
+    /// A 4 KB TRIM (discard): the host declares the page's content
+    /// dead, unmapping it without writing replacement data.
+    Trim,
 }
 
 impl fmt::Display for IoOp {
@@ -38,6 +41,7 @@ impl fmt::Display for IoOp {
         f.write_str(match self {
             IoOp::Read => "R",
             IoOp::Write => "W",
+            IoOp::Trim => "T",
         })
     }
 }
@@ -58,7 +62,12 @@ pub struct TraceRecord {
     /// The 4 KB logical page addressed.
     pub lpn: Lpn,
     /// Identity of the 4 KB content written (or observed, for reads).
+    /// Zero (unused) for trims.
     pub value: ValueId,
+    /// When the request reaches the device, if the trace records it.
+    /// `None` means "unstamped": replay spaces the request with the
+    /// drive's configured arrival process instead.
+    pub arrival: Option<SimTime>,
 }
 
 impl TraceRecord {
@@ -69,6 +78,7 @@ impl TraceRecord {
             op: IoOp::Write,
             lpn,
             value,
+            arrival: None,
         }
     }
 
@@ -79,12 +89,36 @@ impl TraceRecord {
             op: IoOp::Read,
             lpn,
             value,
+            arrival: None,
         }
+    }
+
+    /// Creates a TRIM record (no content moves; `value` is zero).
+    pub fn trim(seq: u64, lpn: Lpn) -> Self {
+        TraceRecord {
+            seq,
+            op: IoOp::Trim,
+            lpn,
+            value: ValueId::new(0),
+            arrival: None,
+        }
+    }
+
+    /// This record with an explicit arrival timestamp.
+    #[must_use]
+    pub fn with_arrival(mut self, at: SimTime) -> Self {
+        self.arrival = Some(at);
+        self
     }
 
     /// Whether this is a write.
     pub fn is_write(&self) -> bool {
         self.op == IoOp::Write
+    }
+
+    /// Whether this is a TRIM.
+    pub fn is_trim(&self) -> bool {
+        self.op == IoOp::Trim
     }
 
     /// The 16-byte digest of this request's content — what the device's
@@ -96,7 +130,11 @@ impl TraceRecord {
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {}", self.seq, self.op, self.lpn, self.value)
+        write!(f, "{} {} {} {}", self.seq, self.op, self.lpn, self.value)?;
+        if let Some(at) = self.arrival {
+            write!(f, " @{}", at.as_nanos())?;
+        }
+        Ok(())
     }
 }
 
@@ -124,5 +162,11 @@ mod tests {
     fn display_round_trips_visually() {
         let rec = TraceRecord::write(5, Lpn::new(9), ValueId::new(3));
         assert_eq!(rec.to_string(), "5 W L9 V3");
+        let stamped = rec.with_arrival(SimTime::from_nanos(1_500));
+        assert_eq!(stamped.to_string(), "5 W L9 V3 @1500");
+        let trim = TraceRecord::trim(6, Lpn::new(9));
+        assert_eq!(trim.to_string(), "6 T L9 V0");
+        assert!(trim.is_trim());
+        assert!(!trim.is_write());
     }
 }

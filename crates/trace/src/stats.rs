@@ -5,7 +5,7 @@ use std::collections::HashSet;
 
 use zssd_types::{Lpn, ValueId};
 
-use crate::record::TraceRecord;
+use crate::record::{IoOp, TraceRecord};
 
 /// The aggregates Table II reports, measured over any record slice.
 ///
@@ -25,6 +25,8 @@ pub struct TraceStats {
     pub writes: u64,
     /// Read requests.
     pub reads: u64,
+    /// TRIM requests.
+    pub trims: u64,
     /// Distinct values among written contents.
     pub distinct_write_values: u64,
     /// Distinct values among read contents.
@@ -41,20 +43,26 @@ impl TraceStats {
         let mut lpns: HashSet<Lpn> = HashSet::new();
         let mut writes = 0u64;
         let mut reads = 0u64;
+        let mut trims = 0u64;
         for r in records {
             lpns.insert(r.lpn);
-            if r.is_write() {
-                writes += 1;
-                write_values.insert(r.value);
-            } else {
-                reads += 1;
-                read_values.insert(r.value);
+            match r.op {
+                IoOp::Write => {
+                    writes += 1;
+                    write_values.insert(r.value);
+                }
+                IoOp::Read => {
+                    reads += 1;
+                    read_values.insert(r.value);
+                }
+                IoOp::Trim => trims += 1,
             }
         }
         TraceStats {
             requests: records.len() as u64,
             writes,
             reads,
+            trims,
             distinct_write_values: write_values.len() as u64,
             distinct_read_values: read_values.len() as u64,
             distinct_lpns: lpns.len() as u64,
@@ -117,15 +125,17 @@ mod tests {
             TraceRecord::write(1, Lpn::new(2), ValueId::new(10)),
             TraceRecord::write(2, Lpn::new(1), ValueId::new(11)),
             TraceRecord::read(3, Lpn::new(2), ValueId::new(10)),
+            TraceRecord::trim(4, Lpn::new(1)),
         ];
         let s = TraceStats::measure(&records);
-        assert_eq!(s.requests, 4);
+        assert_eq!(s.requests, 5);
         assert_eq!(s.writes, 3);
         assert_eq!(s.reads, 1);
+        assert_eq!(s.trims, 1);
         assert_eq!(s.distinct_write_values, 2);
         assert_eq!(s.distinct_read_values, 1);
         assert_eq!(s.distinct_lpns, 2);
-        assert_eq!(s.write_ratio(), 0.75);
+        assert_eq!(s.write_ratio(), 0.6);
         assert!((s.unique_write_frac() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.unique_read_frac(), 1.0);
     }

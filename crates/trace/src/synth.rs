@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use zssd_types::{Lpn, ValueId};
 
 use crate::profile::WorkloadProfile;
-use crate::record::{initial_value_of, TraceRecord};
+use crate::record::{initial_value_of, IoOp, TraceRecord};
 use crate::zipf::ZipfSampler;
 
 /// Re-orders a multiset of value occurrences into a run-shuffled
@@ -67,6 +67,10 @@ fn burstify<R: rand::Rng + ?Sized>(values: Vec<u64>, burst_len: f64, rng: &mut R
 /// 4. Read addresses are drawn Zipf(`read_alpha`); the record carries
 ///    the content currently held there (pre-trace addresses hold
 ///    [`initial_value_of`] content).
+/// 5. When `trim_ratio > 0`, that fraction of requests are TRIMs
+///    aimed at the write-hot region; a trimmed address reads as
+///    initial content afterwards. At the default ratio of zero the
+///    trace is bit-identical to pre-TRIM versions of the generator.
 ///
 /// # Examples
 ///
@@ -94,13 +98,18 @@ impl SyntheticTrace {
         let total = profile.total_requests() as usize;
         let writes = ((total as f64) * profile.write_ratio).round() as usize;
         let writes = writes.min(total);
-        let reads = total - writes;
+        let trims = (((total as f64) * profile.trim_ratio).round() as usize).min(total - writes);
+        let reads = total - writes - trims;
 
-        // 1. Exact-count op interleaving.
-        let mut is_write: Vec<bool> = Vec::with_capacity(total);
-        is_write.extend(std::iter::repeat_n(true, writes));
-        is_write.extend(std::iter::repeat_n(false, reads));
-        is_write.shuffle(&mut rng);
+        // 1. Exact-count op interleaving. Trims are appended after the
+        // other ops so a `trim_ratio` of zero leaves the shuffle — and
+        // therefore the whole trace — bit-identical to older versions
+        // (Fisher–Yates consumes RNG draws based only on length).
+        let mut ops: Vec<IoOp> = Vec::with_capacity(total);
+        ops.extend(std::iter::repeat_n(IoOp::Write, writes));
+        ops.extend(std::iter::repeat_n(IoOp::Read, reads));
+        ops.extend(std::iter::repeat_n(IoOp::Trim, trims));
+        ops.shuffle(&mut rng);
 
         // 2. Write contents: creations + Zipf-ranked repetitions.
         let unique = (((writes as f64) * profile.unique_write_frac).round() as usize)
@@ -142,25 +151,36 @@ impl SyntheticTrace {
             // overwrite each other and fully die between bursts.
             perm[(h % home_region) as usize]
         };
-        for (seq, w) in is_write.into_iter().enumerate() {
-            if w {
-                let value = ValueId::new(values[next_value]);
-                next_value += 1;
-                let raw_lpn = if rng.random::<f64>() < profile.home_affinity {
-                    home_of(value.raw())
-                } else {
-                    perm[write_addr.sample(&mut rng) as usize]
-                };
-                let lpn = Lpn::new(raw_lpn);
-                content.insert(lpn, value);
-                records.push(TraceRecord::write(seq as u64, lpn, value));
-            } else {
-                let lpn = Lpn::new(perm[read_addr.sample(&mut rng) as usize]);
-                let value = content
-                    .get(&lpn)
-                    .copied()
-                    .unwrap_or_else(|| initial_value_of(lpn));
-                records.push(TraceRecord::read(seq as u64, lpn, value));
+        for (seq, op) in ops.into_iter().enumerate() {
+            match op {
+                IoOp::Write => {
+                    let value = ValueId::new(values[next_value]);
+                    next_value += 1;
+                    let raw_lpn = if rng.random::<f64>() < profile.home_affinity {
+                        home_of(value.raw())
+                    } else {
+                        perm[write_addr.sample(&mut rng) as usize]
+                    };
+                    let lpn = Lpn::new(raw_lpn);
+                    content.insert(lpn, value);
+                    records.push(TraceRecord::write(seq as u64, lpn, value));
+                }
+                IoOp::Read => {
+                    let lpn = Lpn::new(perm[read_addr.sample(&mut rng) as usize]);
+                    let value = content
+                        .get(&lpn)
+                        .copied()
+                        .unwrap_or_else(|| initial_value_of(lpn));
+                    records.push(TraceRecord::read(seq as u64, lpn, value));
+                }
+                IoOp::Trim => {
+                    // Trims target the write-hot region (hosts discard
+                    // what they recently wrote), discarding whatever
+                    // content is there.
+                    let lpn = Lpn::new(perm[write_addr.sample(&mut rng) as usize]);
+                    content.remove(&lpn);
+                    records.push(TraceRecord::trim(seq as u64, lpn));
+                }
             }
         }
 
@@ -290,8 +310,48 @@ mod tests {
                         .unwrap_or_else(|| initial_value_of(r.lpn));
                     assert_eq!(r.value, expect, "read at seq {}", r.seq);
                 }
+                IoOp::Trim => {
+                    content.remove(&r.lpn);
+                }
             }
         }
+    }
+
+    #[test]
+    fn trim_ratio_emits_exact_trim_counts() {
+        let p = WorkloadProfile::web().scaled(0.02).with_trim_ratio(0.1);
+        let t = SyntheticTrace::generate(&p, 7);
+        let trims = t.records().iter().filter(|r| r.is_trim()).count();
+        let expect = (p.total_requests() as f64 * p.trim_ratio).round() as usize;
+        assert_eq!(trims, expect);
+        assert!(trims > 0);
+        // Reads still observe the shadow content even across trims.
+        let mut content: FxHashMap<Lpn, ValueId> = FxHashMap::default();
+        for r in t.records() {
+            match r.op {
+                IoOp::Write => {
+                    content.insert(r.lpn, r.value);
+                }
+                IoOp::Read => {
+                    let expect = content
+                        .get(&r.lpn)
+                        .copied()
+                        .unwrap_or_else(|| initial_value_of(r.lpn));
+                    assert_eq!(r.value, expect, "read at seq {}", r.seq);
+                }
+                IoOp::Trim => {
+                    content.remove(&r.lpn);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trim_ratio_is_bit_identical_to_default() {
+        let p = WorkloadProfile::web().scaled(0.01);
+        let a = SyntheticTrace::generate(&p, 3);
+        let b = SyntheticTrace::generate(&p.clone().with_trim_ratio(0.0), 3);
+        assert_eq!(a.records(), b.records());
     }
 
     #[test]

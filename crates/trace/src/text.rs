@@ -1,15 +1,19 @@
 //! A line-oriented text trace format, FIU-style.
 //!
-//! One request per line: `<seq> <R|W> <lpn> <value> <fingerprint-hex>`.
+//! One request per line:
+//! `<seq> <R|W|T> <lpn> <value> <fingerprint-hex> [@<arrival-nanos>]`.
 //! Lines starting with `#` are comments. The fingerprint column is
 //! redundant (derivable from the value id) but kept because the real
-//! FIU traces ship digests, and it makes files self-describing.
+//! FIU traces ship digests, and it makes files self-describing. The
+//! optional trailing `@<nanos>` token records the request's arrival
+//! timestamp; unstamped lines parse to records replayed under the
+//! drive's configured arrival process.
 
 use core::fmt;
 use std::error::Error;
 use std::io::{self, Write};
 
-use zssd_types::{Lpn, ValueId};
+use zssd_types::{Lpn, SimTime, ValueId};
 
 use crate::record::{IoOp, TraceRecord};
 
@@ -49,9 +53,12 @@ impl Error for TraceParseError {}
 /// Propagates I/O errors from the writer. A `&mut Vec<u8>` or any
 /// `&mut W` where `W: Write` may be passed.
 pub fn write_text<W: Write>(records: &[TraceRecord], mut out: W) -> io::Result<()> {
-    writeln!(out, "# zombie-ssd trace: seq op lpn value fingerprint")?;
+    writeln!(
+        out,
+        "# zombie-ssd trace: seq op lpn value fingerprint [@arrival-ns]"
+    )?;
     for r in records {
-        writeln!(
+        write!(
             out,
             "{} {} {} {} {}",
             r.seq,
@@ -60,6 +67,10 @@ pub fn write_text<W: Write>(records: &[TraceRecord], mut out: W) -> io::Result<(
             r.value.raw(),
             r.fingerprint()
         )?;
+        if let Some(at) = r.arrival {
+            write!(out, " @{}", at.as_nanos())?;
+        }
+        writeln!(out)?;
     }
     Ok(())
 }
@@ -111,10 +122,11 @@ pub fn parse_text(input: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
         let op = match fields.next() {
             Some("R") => IoOp::Read,
             Some("W") => IoOp::Write,
+            Some("T") => IoOp::Trim,
             Some(other) => {
                 return Err(TraceParseError::new(
                     lineno,
-                    format!("bad op {other:?}, expected R or W"),
+                    format!("bad op {other:?}, expected R, W, or T"),
                 ))
             }
             None => return Err(TraceParseError::new(lineno, "missing op")),
@@ -129,16 +141,25 @@ pub fn parse_text(input: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
             .ok_or_else(|| TraceParseError::new(lineno, "missing value"))?
             .parse()
             .map_err(|e| TraceParseError::new(lineno, format!("bad value: {e}")))?;
-        // The fingerprint column, when present, must agree.
-        if let Some(fp_hex) = fields.next() {
-            let expect = TraceRecord::write(0, Lpn::new(0), ValueId::new(value))
-                .fingerprint()
-                .to_string();
-            if fp_hex != expect {
-                return Err(TraceParseError::new(
-                    lineno,
-                    format!("fingerprint {fp_hex} does not match value {value}"),
-                ));
+        // Remaining tokens: an optional fingerprint (must agree with
+        // the value) and an optional `@<nanos>` arrival timestamp.
+        let mut arrival = None;
+        for token in fields {
+            if let Some(ns) = token.strip_prefix('@') {
+                let ns: u64 = ns
+                    .parse()
+                    .map_err(|e| TraceParseError::new(lineno, format!("bad arrival: {e}")))?;
+                arrival = Some(SimTime::from_nanos(ns));
+            } else {
+                let expect = TraceRecord::write(0, Lpn::new(0), ValueId::new(value))
+                    .fingerprint()
+                    .to_string();
+                if token != expect {
+                    return Err(TraceParseError::new(
+                        lineno,
+                        format!("fingerprint {token} does not match value {value}"),
+                    ));
+                }
             }
         }
         records.push(TraceRecord {
@@ -146,6 +167,7 @@ pub fn parse_text(input: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
             op,
             lpn: Lpn::new(lpn),
             value: ValueId::new(value),
+            arrival,
         });
     }
     Ok(records)
@@ -173,6 +195,31 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].lpn, Lpn::new(5));
         assert!(parsed[0].is_write());
+    }
+
+    #[test]
+    fn trims_and_arrival_stamps_round_trip() {
+        let records = vec![
+            TraceRecord::write(0, Lpn::new(3), ValueId::new(7))
+                .with_arrival(SimTime::from_nanos(1_000)),
+            TraceRecord::trim(1, Lpn::new(3)).with_arrival(SimTime::from_nanos(2_500)),
+            TraceRecord::read(2, Lpn::new(3), ValueId::new(7)),
+        ];
+        let mut buf = Vec::new();
+        write_text(&records, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let parsed = parse_text(&text).expect("parse");
+        assert_eq!(parsed, records);
+        // Bare stamped line without a fingerprint also parses.
+        let parsed = parse_text("0 T 5 0 @42").expect("parse");
+        assert_eq!(
+            parsed[0],
+            TraceRecord::trim(0, Lpn::new(5)).with_arrival(SimTime::from_nanos(42))
+        );
+        assert!(parse_text("0 W 1 2 @nope")
+            .unwrap_err()
+            .to_string()
+            .contains("arrival"));
     }
 
     #[test]

@@ -69,6 +69,10 @@ fn content_read_back_matches_shadow_model_for_all_systems() {
                         assert_eq!(value, expect, "{system}: content at {}", record.lpn);
                     }
                 }
+                IoOp::Trim => {
+                    ssd.trim(record.lpn).expect("trim");
+                    shadow.remove(&record.lpn);
+                }
             }
         }
         // Final sweep: every shadow entry reads back exactly.
@@ -204,6 +208,36 @@ fn wear_and_trim_surface_in_reports() {
 }
 
 #[test]
+fn trim_heavy_traces_replay_cleanly() {
+    let profile = WorkloadProfile::mail().scaled(0.004).with_trim_ratio(0.1);
+    let trace = SyntheticTrace::generate(&profile, 37);
+    let trims_in_trace = trace.records().iter().filter(|r| r.is_trim()).count() as u64;
+    assert!(trims_in_trace > 0, "trim ratio must emit trims");
+    for system in [SystemKind::Baseline, SystemKind::MqDvp { entries: 512 }] {
+        let report = run(&profile, &trace, system);
+        assert_eq!(
+            report.trims, trims_in_trace,
+            "{system}: every trim serviced"
+        );
+        assert_eq!(
+            report.read_mismatches, 0,
+            "{system}: content stays consistent"
+        );
+        assert_eq!(
+            report.host_writes + report.host_reads + report.trims,
+            trace.records().len() as u64,
+            "{system}: every record serviced"
+        );
+        // Trims are mapping-table operations: no latency sample.
+        assert_eq!(
+            report.all_latency.count,
+            report.host_writes + report.host_reads,
+            "{system}: trims record no latency"
+        );
+    }
+}
+
+#[test]
 fn run_reports_are_deterministic() {
     let profile = WorkloadProfile::trans().scaled(0.003);
     let trace = SyntheticTrace::generate(&profile, 31);
@@ -238,6 +272,7 @@ fn multi_day_traces_replay_day_by_day() {
             match record.op {
                 IoOp::Write => at = ssd.write(record.lpn, record.value, at).expect("write"),
                 IoOp::Read => at = ssd.read(record.lpn, at).expect("read").1,
+                IoOp::Trim => ssd.trim(record.lpn).expect("trim"),
             }
         }
     }

@@ -13,7 +13,7 @@ use zombie_ssd::core::{
 };
 use zombie_ssd::ftl::{Ssd, SsdConfig};
 use zombie_ssd::metrics::{Cdf, LatencyRecorder, ShareCurve};
-use zombie_ssd::trace::{SyntheticTrace, WorkloadProfile};
+use zombie_ssd::trace::{ArrivalProcess, SyntheticTrace, WorkloadProfile};
 use zombie_ssd::types::{
     Fingerprint, Lpn, PopularityDegree, Ppn, SimDuration, SimTime, ValueId, WriteClock,
 };
@@ -352,5 +352,56 @@ proptest! {
         let dense_report = dense.run_trace(trace.records()).expect("dense run");
         let sparse_report = sparse.run_trace(trace.records()).expect("sparse run");
         prop_assert_eq!(dense_report, sparse_report);
+    }
+
+    /// Backward-compatibility oracle for the timing rework: stamping
+    /// every record with the constant process must be report-identical
+    /// to leaving records unstamped and configuring the same interval
+    /// on the drive.
+    #[test]
+    fn stamped_constant_arrivals_match_interval_replay(
+        seed in any::<u64>(),
+        interval_us in 1u64..5_000,
+    ) {
+        let profile = WorkloadProfile::mail().scaled(0.001).with_days(1);
+        let trace = SyntheticTrace::generate(&profile, seed);
+        let interval = SimDuration::from_micros(interval_us);
+        let mut stamped = trace.records().to_vec();
+        ArrivalProcess::constant(interval).stamp(&mut stamped);
+        let config = SsdConfig::for_footprint(profile.lpn_space)
+            .with_system(SystemKind::MqDvp { entries: 512 });
+        let unstamped_report = Ssd::new(config.clone().with_arrival_interval(interval))
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("unstamped run");
+        // The stamped drive keeps the default interval: stamps win.
+        let stamped_report = Ssd::new(config)
+            .expect("drive")
+            .run_trace(&stamped)
+            .expect("stamped run");
+        prop_assert_eq!(unstamped_report, stamped_report);
+    }
+
+    /// Poisson replay: the same seed reproduces the exact report, the
+    /// latency tail stays ordered, and reads stay content-consistent
+    /// under the irregular arrival spacing.
+    #[test]
+    fn poisson_replay_is_seed_deterministic_with_ordered_tail(seed in any::<u64>()) {
+        let profile = WorkloadProfile::mail().scaled(0.001).with_days(1);
+        let trace = SyntheticTrace::generate(&profile, 9);
+        let config = SsdConfig::for_footprint(profile.lpn_space)
+            .with_system(SystemKind::Baseline)
+            .with_arrival(ArrivalProcess::poisson(SimDuration::from_micros(500), seed));
+        let a = Ssd::new(config.clone())
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("first run");
+        let b = Ssd::new(config)
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("second run");
+        prop_assert!(a.all_latency.p99 >= a.all_latency.p50);
+        prop_assert_eq!(a.read_mismatches, 0);
+        prop_assert_eq!(a, b);
     }
 }

@@ -10,8 +10,8 @@
 //! * **No shrinking.** A failing case panics immediately; the panic
 //!   message includes the case's seed so it can be replayed with
 //!   `PROPTEST_SEED=<seed>`.
-//! * Case count comes from [`ProptestConfig::with_cases`] or the
-//!   `PROPTEST_CASES` environment variable (default 256).
+//! * Case count comes from [`test_runner::ProptestConfig::with_cases`]
+//!   or the `PROPTEST_CASES` environment variable (default 256).
 
 #![forbid(unsafe_code)]
 
@@ -228,7 +228,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
