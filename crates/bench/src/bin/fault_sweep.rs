@@ -1,0 +1,98 @@
+//! **Fault sweep** — write amplification and latency versus the
+//! injected NAND program-failure rate.
+//!
+//! Sweeps the program-failure probability on the mail workload
+//! (erase and read faults stay off so the x-axis is pure) and
+//! reports, per rate:
+//!
+//! * **attempts/write** — (successful programs + failed attempts) per
+//!   host write: the write-amplification figure of merit. Failed
+//!   programs consume pages and force retries, so this must grow
+//!   monotonically with the program-failure rate.
+//! * the failure counters themselves (program failures, bad pages
+//!   burned, GC relocations),
+//! * mean and p99 request latency — retries queue behind everything
+//!   else, so the tail degrades first.
+//!
+//! Run with `cargo run -p zssd-bench --release --bin fault_sweep`.
+//! Scale down with `ZSSD_SCALE=0.1` for a quick pass; the fault seed
+//! is fixed so runs are reproducible.
+//!
+//! A rate of zero is byte-identical to a fault-free build, so the
+//! first row doubles as the no-fault baseline.
+
+use std::sync::Arc;
+
+use zssd_bench::{config_for, maybe_write_csv, run_grid, scale, trace_for, GridCell, TextTable};
+use zssd_core::SystemKind;
+use zssd_flash::FaultConfig;
+use zssd_trace::{TraceRecord, WorkloadProfile};
+
+const RATES: [f64; 5] = [0.0, 1e-3, 2e-3, 5e-3, 1e-2];
+const FAULT_SEED: u64 = 0xFA17;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fault sweep: write amplification and latency vs program-failure rate\n");
+    let profile = WorkloadProfile::mail().scaled(scale());
+    // Baseline keeps the figure of merit clean: no dedup or revival,
+    // so every flash program traces back to a host write or GC copy
+    // and the ratio is the classic write-amplification factor.
+    let system = SystemKind::Baseline;
+    let records: Arc<[TraceRecord]> = trace_for(&profile).into_records().into();
+    let cells: Vec<GridCell> = RATES
+        .iter()
+        .map(|&rate| {
+            let faults = FaultConfig::none()
+                .with_program_fail(rate)
+                .with_seed(FAULT_SEED);
+            GridCell::new(
+                profile.name.clone(),
+                format!("p={rate:.0e}"),
+                config_for(&profile, system).with_faults(faults),
+                records.clone(),
+            )
+        })
+        .collect();
+    let reports = run_grid(cells)?;
+
+    let mut table = TextTable::new(vec![
+        "program-fail",
+        "attempts/write",
+        "prog-fails",
+        "gc-programs",
+        "mean-lat",
+        "p99-lat",
+    ]);
+    let mut last_wa = 0.0f64;
+    let mut monotone = true;
+    for (&rate, report) in RATES.iter().zip(&reports) {
+        let attempts = report.flash_programs + report.program_failures;
+        let wa = attempts as f64 / report.host_writes.max(1) as f64;
+        monotone &= wa >= last_wa;
+        last_wa = wa;
+        table.row(vec![
+            format!("{rate:.0e}"),
+            format!("{wa:.4}"),
+            report.program_failures.to_string(),
+            report.gc_programs.to_string(),
+            format!("{}", report.all_latency.mean),
+            format!("{}", report.all_latency.p99),
+        ]);
+        eprintln!("  [p={rate:.0e}] done");
+    }
+    maybe_write_csv("fault_sweep", &table);
+    println!("{table}");
+    println!(
+        "write amplification (attempts/write) is {} in the program-failure rate",
+        if monotone {
+            "monotonically increasing"
+        } else {
+            "NOT monotone — investigate"
+        }
+    );
+    assert!(
+        monotone,
+        "every failed program forces a retry, so attempts per host write must rise with the rate"
+    );
+    Ok(())
+}

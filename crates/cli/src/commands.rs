@@ -3,6 +3,7 @@
 use std::error::Error;
 
 use zssd_core::SystemKind;
+use zssd_flash::FaultConfig;
 use zssd_ftl::{Ssd, SsdConfig};
 use zssd_trace::{
     read_file, write_file, ArrivalProcess, SyntheticTrace, TraceRecord, TraceStats, WorkloadProfile,
@@ -27,9 +28,11 @@ COMMANDS:
     run      --workload W --system SYS   simulate a generated trace
              [--entries N] [--scale S] [--seed N] [--days D]
              [--arrival A] [--interval-us U]
+             [--fault-rate R] [--fault-seed N]
     replay   --trace F --system SYS      simulate a trace file
              [--entries N] [--footprint P] [--seed N]
              [--arrival A] [--interval-us U]
+             [--fault-rate R] [--fault-seed N]
     analyze  --workload W            value life-cycle characterization
              [--scale S] [--seed N]
     help                             this text
@@ -39,6 +42,11 @@ SYSTEMS (for --system):
 
 ARRIVALS (for --arrival; --interval-us sets the mean gap):
     constant | poisson | bursty | bursty:<mean-burst-len>
+
+FAULTS (for --fault-rate; same syntax as the ZSSD_FAULTS env knob):
+    a bare probability (applied to program, erase, and read alike), or
+    program=P,erase=P,read=P,wear=A,seed=N with any subset of keys;
+    --fault-seed overrides the plan seed
 ";
 
 /// Routes a command line to its implementation.
@@ -206,13 +214,38 @@ fn gen(argv: &[String]) -> CliResult {
     Ok(())
 }
 
+/// The `--fault-rate`/`--fault-seed` pair. Absent flags fall back to
+/// the `ZSSD_FAULTS` environment knob (which defaults to no faults).
+fn fault_flags(args: &Args) -> Result<FaultConfig, Box<dyn Error>> {
+    let mut faults = match args.optional("fault-rate") {
+        Some(spec) => FaultConfig::from_spec(spec)
+            .map_err(|e| ArgError(format!("bad value for --fault-rate: {e}")))?,
+        None => FaultConfig::from_env(),
+    };
+    if let Some(raw) = args.optional("fault-seed") {
+        faults = faults.with_seed(
+            raw.parse()
+                .map_err(|e| ArgError(format!("bad value for --fault-seed: {e}")))?,
+        );
+    }
+    Ok(faults)
+}
+
 fn simulate(
     records: &[TraceRecord],
     footprint: u64,
     system: SystemKind,
     arrival: &ArrivalFlags,
+    faults: FaultConfig,
 ) -> CliResult {
-    let config = arrival.apply(SsdConfig::for_footprint(footprint).with_system(system))?;
+    let config = arrival.apply(
+        SsdConfig::for_footprint(footprint)
+            .with_system(system)
+            .with_faults(faults),
+    )?;
+    if !faults.is_none() {
+        eprintln!("fault injection: {faults}");
+    }
     eprintln!(
         "simulating {} requests on {} ({} physical pages, OP {:.1}%)...",
         records.len(),
@@ -241,6 +274,8 @@ fn run(argv: &[String]) -> CliResult {
             "days",
             "arrival",
             "interval-us",
+            "fault-rate",
+            "fault-seed",
         ],
     )?;
     let profile = scaled_profile(&args)?;
@@ -249,7 +284,8 @@ fn run(argv: &[String]) -> CliResult {
     let seed: u64 = args.parse_or("seed", 42)?;
     let trace = SyntheticTrace::generate(&profile, seed);
     let arrival = ArrivalFlags::from_args(&args)?;
-    simulate(trace.records(), profile.lpn_space, system, &arrival)
+    let faults = fault_flags(&args)?;
+    simulate(trace.records(), profile.lpn_space, system, &arrival, faults)
 }
 
 fn replay(argv: &[String]) -> CliResult {
@@ -263,6 +299,8 @@ fn replay(argv: &[String]) -> CliResult {
             "seed",
             "arrival",
             "interval-us",
+            "fault-rate",
+            "fault-seed",
         ],
     )?;
     let records = read_file(args.required("trace")?)?;
@@ -275,7 +313,8 @@ fn replay(argv: &[String]) -> CliResult {
         .unwrap_or(64);
     let footprint: u64 = args.parse_or("footprint", max_lpn.max(64))?;
     let arrival = ArrivalFlags::from_args(&args)?;
-    simulate(&records, footprint, system, &arrival)
+    let faults = fault_flags(&args)?;
+    simulate(&records, footprint, system, &arrival, faults)
 }
 
 fn analyze(argv: &[String]) -> CliResult {
@@ -388,6 +427,56 @@ mod tests {
             .collect();
         dispatch(&argv).expect("analyze");
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn run_honors_fault_flags() {
+        let argv: Vec<String> = [
+            "run",
+            "--workload",
+            "trans",
+            "--system",
+            "dvp",
+            "--scale",
+            "0.002",
+            "--entries",
+            "64",
+            "--fault-rate",
+            "program=1e-3,erase=5e-3,read=1e-3",
+            "--fault-seed",
+            "99",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("run with fault injection");
+        // A bare probability applies to all three operation kinds.
+        let argv: Vec<String> = [
+            "run",
+            "--workload",
+            "trans",
+            "--system",
+            "baseline",
+            "--scale",
+            "0.002",
+            "--fault-rate",
+            "0.001",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("run with a bare fault rate");
+        // Malformed specs are rejected up front.
+        assert!(dispatch(&[
+            "run".into(),
+            "--workload".into(),
+            "trans".into(),
+            "--system".into(),
+            "dvp".into(),
+            "--fault-rate".into(),
+            "program=2.0".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use zssd_metrics::Counter;
 use zssd_types::{AddressError, Ppn, SimTime};
 
 use crate::block::{Block, BlockInfo, PageState};
+use crate::fault::{FaultConfig, FaultKind, FaultPlan};
 use crate::geometry::{BlockId, Geometry};
 use crate::timing::FlashTiming;
 
@@ -55,6 +56,21 @@ pub enum FlashOpError {
         /// The destination block (in another plane).
         dest_block: BlockId,
     },
+    /// An injected program failure: the NAND reported a program-status
+    /// error. The target page is now [`PageState::Bad`] and the
+    /// block's cursor has moved past it — the caller retries on the
+    /// next page.
+    ProgramFailed {
+        /// The page that went bad.
+        ppn: Ppn,
+    },
+    /// An injected erase failure: the block did not erase. Its page
+    /// states are unchanged; the caller retries, and retires the block
+    /// if failures repeat.
+    EraseFailed {
+        /// The block that failed to erase.
+        block: BlockId,
+    },
 }
 
 impl fmt::Display for FlashOpError {
@@ -80,6 +96,10 @@ impl fmt::Display for FlashOpError {
             FlashOpError::CrossPlaneCopyback { src, dest_block } => {
                 write!(f, "copyback from {src} to {dest_block} crosses planes")
             }
+            FlashOpError::ProgramFailed { ppn } => {
+                write!(f, "program of {ppn} failed; page marked bad")
+            }
+            FlashOpError::EraseFailed { block } => write!(f, "erase of {block} failed"),
         }
     }
 }
@@ -112,6 +132,17 @@ pub struct FlashStats {
     pub invalidations: Counter,
     /// Invalid pages flipped back to valid (rebirths via the DVP).
     pub revivals: Counter,
+    /// Injected program failures (the failed attempts are *not*
+    /// counted in [`FlashStats::programs`]).
+    pub program_failures: Counter,
+    /// Injected erase failures (not counted in [`FlashStats::erases`]).
+    pub erase_failures: Counter,
+    /// Reads that hit an uncorrectable-ECC event and re-sensed the
+    /// page (each costs an extra read pass).
+    pub read_retries: Counter,
+    /// Blocks permanently removed from service after repeated erase
+    /// failures.
+    pub retired_blocks: Counter,
 }
 
 /// The simulated NAND array: per-page state, per-block wear, and the
@@ -152,11 +183,19 @@ pub struct FlashArray {
     channel_busy_until: Vec<SimTime>,
     controller_busy_until: SimTime,
     stats: FlashStats,
+    fault: FaultPlan,
 }
 
 impl FlashArray {
-    /// Creates a fully erased array with the given geometry and timing.
+    /// Creates a fully erased array with the given geometry and timing,
+    /// injecting no faults.
     pub fn new(geometry: Geometry, timing: FlashTiming) -> Self {
+        FlashArray::with_faults(geometry, timing, FaultConfig::none())
+    }
+
+    /// Creates a fully erased array whose operations fail according to
+    /// the given (seeded, deterministic) fault configuration.
+    pub fn with_faults(geometry: Geometry, timing: FlashTiming, faults: FaultConfig) -> Self {
         FlashArray {
             geometry,
             timing,
@@ -167,7 +206,13 @@ impl FlashArray {
             channel_busy_until: vec![SimTime::ZERO; geometry.channels() as usize],
             controller_busy_until: SimTime::ZERO,
             stats: FlashStats::default(),
+            fault: FaultPlan::new(faults),
         }
+    }
+
+    /// The fault configuration this array injects from.
+    pub fn fault_config(&self) -> &FaultConfig {
+        self.fault.config()
     }
 
     /// The array's geometry.
@@ -254,14 +299,33 @@ impl FlashArray {
     /// Reads a page, returning the completion time.
     ///
     /// The page must hold data (valid or invalid — GC and revival
-    /// verification may read garbage pages).
+    /// verification may read garbage pages). An injected ECC error is
+    /// resolved internally by a retry (see
+    /// [`FlashArray::read_page_outcome`] to observe it).
     ///
     /// # Errors
     ///
-    /// Returns an error if the page is out of range or free.
+    /// Returns an error if the page is out of range, free, or bad.
     pub fn read_page(&mut self, ppn: Ppn, at: SimTime) -> Result<SimTime, FlashOpError> {
+        self.read_page_outcome(ppn, at).map(|(done, _)| done)
+    }
+
+    /// Reads a page, returning the completion time and whether an
+    /// uncorrectable-ECC event forced a retry. A retried read costs a
+    /// full second sense + transfer pass; the retry always succeeds
+    /// (the data survives — the FTL should still relocate it off the
+    /// suspect page).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is out of range, free, or bad.
+    pub fn read_page_outcome(
+        &mut self,
+        ppn: Ppn,
+        at: SimTime,
+    ) -> Result<(SimTime, bool), FlashOpError> {
         let state = self.page_state(ppn)?;
-        if state == PageState::Free {
+        if state == PageState::Free || state == PageState::Bad {
             return Err(FlashOpError::State {
                 ppn,
                 expected: PageState::Valid,
@@ -273,11 +337,27 @@ impl FlashArray {
         let sense_start = at.max(self.chip_busy_until[chip]);
         let sense_done = sense_start + self.timing.read;
         let xfer_start = sense_done.max(self.channel_busy_until[channel]);
-        let done = xfer_start + self.timing.transfer;
+        let mut done = xfer_start + self.timing.transfer;
+        self.stats.reads.incr();
+        let retried = self
+            .fault
+            .decide(FaultKind::Read, ppn.index(), self.wear_of(ppn));
+        if retried {
+            // ECC failed on the first sense: sense and transfer again.
+            let retry_xfer = (done + self.timing.read).max(self.channel_busy_until[channel]);
+            done = retry_xfer + self.timing.transfer;
+            self.stats.reads.incr();
+            self.stats.read_retries.incr();
+        }
         self.chip_busy_until[chip] = done;
         self.channel_busy_until[channel] = done;
-        self.stats.reads.incr();
-        Ok(done)
+        Ok((done, retried))
+    }
+
+    /// Wear (erase count) of the block owning `ppn`; the address has
+    /// already been validated by the caller.
+    fn wear_of(&self, ppn: Ppn) -> u64 {
+        self.blocks[self.geometry.block_of(ppn).index() as usize].erase_count
     }
 
     /// Programs a page, returning the completion time. The page becomes
@@ -286,7 +366,11 @@ impl FlashArray {
     /// # Errors
     ///
     /// Returns an error if the page is out of range, not free, or not
-    /// the next sequential page of its block.
+    /// the next sequential page of its block. An injected program
+    /// failure ([`FlashOpError::ProgramFailed`]) marks the page bad and
+    /// advances the cursor past it — the full transfer + `tPROG` time
+    /// is still spent (the failure only shows in the status poll), and
+    /// the caller retries on the block's next page.
     pub fn program_page(&mut self, ppn: Ppn, at: SimTime) -> Result<SimTime, FlashOpError> {
         let state = self.page_state(ppn)?;
         if state != PageState::Free {
@@ -298,16 +382,20 @@ impl FlashArray {
         }
         let block_id = self.geometry.block_of(ppn);
         let offset = self.geometry.page_in_block(ppn);
-        let block = &mut self.blocks[block_id.index() as usize];
-        if offset != block.write_cursor {
+        let wear = self.blocks[block_id.index() as usize].erase_count;
+        if offset != self.blocks[block_id.index() as usize].write_cursor {
             return Err(FlashOpError::OutOfOrderProgram {
                 ppn,
-                expected_offset: block.write_cursor,
+                expected_offset: self.blocks[block_id.index() as usize].write_cursor,
             });
         }
-        block.pages[offset as usize] = PageState::Valid;
-        block.write_cursor += 1;
-        block.valid_count += 1;
+        let failed = self.fault.decide(FaultKind::Program, ppn.index(), wear);
+        let block = &mut self.blocks[block_id.index() as usize];
+        if failed {
+            block.fail_at_cursor();
+        } else {
+            block.program_at_cursor();
+        }
 
         let chip = self.geometry.chip_of(ppn) as usize;
         let channel = self.geometry.channel_of(ppn) as usize;
@@ -318,6 +406,10 @@ impl FlashArray {
         let done = xfer_done + self.timing.program;
         self.channel_busy_until[channel] = xfer_done;
         self.chip_busy_until[chip] = done;
+        if failed {
+            self.stats.program_failures.incr();
+            return Err(FlashOpError::ProgramFailed { ppn });
+        }
         self.stats.programs.incr();
         Ok(done)
     }
@@ -427,36 +519,85 @@ impl FlashArray {
             return Err(FlashOpError::CrossPlaneCopyback { src, dest_block });
         }
         let cursor = self.blocks[dest_block.index() as usize].write_cursor;
-        if cursor >= self.geometry.pages_per_block() {
+        if cursor >= self.geometry.pages_per_block()
+            || self.blocks[dest_block.index() as usize].free_count() == 0
+        {
             return Err(FlashOpError::BlockFull { block: dest_block });
         }
         let dest = Ppn::new(self.geometry.first_ppn_of(dest_block).index() + u64::from(cursor));
 
+        // The program half of the move is subject to the same injected
+        // failures as a host program.
+        let wear = self.blocks[dest_block.index() as usize].erase_count;
+        let failed = self.fault.decide(FaultKind::Program, dest.index(), wear);
         // State transition of the destination page, mirroring
         // program_page but without touching the channel.
         {
             let block = &mut self.blocks[dest_block.index() as usize];
-            block.pages[cursor as usize] = PageState::Valid;
-            block.write_cursor += 1;
-            block.valid_count += 1;
+            if failed {
+                block.fail_at_cursor();
+            } else {
+                block.program_at_cursor();
+            }
         }
         let chip = self.geometry.chip_of(src) as usize;
         let start = at.max(self.chip_busy_until[chip]);
         let done = start + self.timing.read + self.timing.program;
         self.chip_busy_until[chip] = done;
         self.stats.reads.incr();
+        if failed {
+            self.stats.program_failures.incr();
+            return Err(FlashOpError::ProgramFailed { ppn: dest });
+        }
         self.stats.programs.incr();
         Ok((dest, done))
     }
 
-    /// Erases a block, returning the completion time. All pages become
-    /// free and the block's wear count increments.
+    /// Erases a block, returning the completion time. All non-bad
+    /// pages become free and the block's wear count increments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block is out of range or still holds
+    /// valid pages (relocate them first). An injected erase failure
+    /// ([`FlashOpError::EraseFailed`]) spends the full `tBERS` but
+    /// leaves page states untouched — the caller retries, and retires
+    /// the block if failures repeat.
+    pub fn erase_block(&mut self, block: BlockId, at: SimTime) -> Result<SimTime, FlashOpError> {
+        self.check_block(block)?;
+        let wear = self.blocks[block.index() as usize].erase_count;
+        if self.blocks[block.index() as usize].valid_count > 0 {
+            return Err(FlashOpError::BlockHasValidPages {
+                block,
+                valid_pages: self.blocks[block.index() as usize].valid_count,
+            });
+        }
+        let failed = self.fault.decide(FaultKind::Erase, block.index(), wear);
+        let chip = self.geometry.chip_of(self.geometry.first_ppn_of(block)) as usize;
+        let start = at.max(self.chip_busy_until[chip]);
+        let done = start + self.timing.erase;
+        self.chip_busy_until[chip] = done;
+        if failed {
+            self.stats.erase_failures.incr();
+            return Err(FlashOpError::EraseFailed { block });
+        }
+        self.blocks[block.index() as usize].erase();
+        self.stats.erases.incr();
+        Ok(done)
+    }
+
+    /// Permanently removes a block from service: every page becomes
+    /// [`PageState::Bad`], so the block can never be programmed again
+    /// and never offers garbage to GC or the dead-value pool. Pure
+    /// bookkeeping (the failed erase attempts already paid their
+    /// time). The FTL calls this after repeated erase failures, once
+    /// all mapping/pool/rmap entries into the block are purged.
     ///
     /// # Errors
     ///
     /// Returns an error if the block is out of range or still holds
     /// valid pages (relocate them first).
-    pub fn erase_block(&mut self, block: BlockId, at: SimTime) -> Result<SimTime, FlashOpError> {
+    pub fn retire_block(&mut self, block: BlockId) -> Result<(), FlashOpError> {
         self.check_block(block)?;
         let b = &mut self.blocks[block.index() as usize];
         if b.valid_count > 0 {
@@ -465,13 +606,9 @@ impl FlashArray {
                 valid_pages: b.valid_count,
             });
         }
-        b.erase();
-        let chip = self.geometry.chip_of(self.geometry.first_ppn_of(block)) as usize;
-        let start = at.max(self.chip_busy_until[chip]);
-        let done = start + self.timing.erase;
-        self.chip_busy_until[chip] = done;
-        self.stats.erases.incr();
-        Ok(done)
+        b.retire();
+        self.stats.retired_blocks.incr();
+        Ok(())
     }
 
     /// Earliest time the chip owning `ppn` is free — lets the FTL
@@ -541,6 +678,16 @@ impl FlashArray {
     /// Total invalid (zombie) pages across the device.
     pub fn total_invalid_pages(&self) -> u64 {
         self.blocks.iter().map(|b| u64::from(b.invalid_count)).sum()
+    }
+
+    /// Total bad (program-failed or retired) pages across the device.
+    pub fn total_bad_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.bad_count)).sum()
+    }
+
+    /// Total free (programmable) pages across the device.
+    pub fn total_free_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.free_count())).sum()
     }
 
     /// Wear summary across all blocks (min/max/mean erase counts) —
@@ -866,6 +1013,121 @@ mod tests {
         // A flash-free completion ignores channels entirely.
         let free = flash.controller_complete(None, SimTime::ZERO).expect("ok");
         assert_eq!(free, done + t.transfer, "only the controller serializes");
+    }
+
+    #[test]
+    fn injected_program_failure_marks_page_bad_and_advances_cursor() {
+        let geom = Geometry::new(1, 1, 1, 1, 2, 4).expect("valid geometry");
+        let mut flash = FlashArray::with_faults(
+            geom,
+            FlashTiming::paper_table1(),
+            crate::FaultConfig::none().with_program_fail(1.0),
+        );
+        let block = BlockId::new(0);
+        let err = flash.program_next(block, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::ProgramFailed { ppn } if ppn == Ppn::new(0)));
+        assert_eq!(
+            flash.page_state(Ppn::new(0)).expect("state"),
+            PageState::Bad
+        );
+        assert_eq!(flash.free_pages_in(block).expect("free"), 3);
+        assert_eq!(flash.stats().program_failures.get(), 1);
+        assert_eq!(flash.stats().programs.get(), 0, "failures are not programs");
+        // The failed attempt still occupied the chip for a full program.
+        let t = FlashTiming::paper_table1();
+        assert_eq!(
+            flash.chip_free_at(Ppn::new(0)),
+            SimTime::ZERO + t.transfer + t.program
+        );
+        // At rate 1.0 every retry fails too, until the block is consumed.
+        for _ in 0..3 {
+            assert!(flash.program_next(block, SimTime::ZERO).is_err());
+        }
+        assert!(matches!(
+            flash.program_next(block, SimTime::ZERO).unwrap_err(),
+            FlashOpError::BlockFull { .. }
+        ));
+        assert_eq!(flash.total_bad_pages(), 4);
+    }
+
+    #[test]
+    fn injected_erase_failure_leaves_block_intact() {
+        let geom = Geometry::new(1, 1, 1, 1, 2, 4).expect("valid geometry");
+        let mut flash = FlashArray::with_faults(
+            geom,
+            FlashTiming::paper_table1(),
+            crate::FaultConfig::none().with_erase_fail(1.0),
+        );
+        let block = BlockId::new(0);
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        flash.invalidate_page(Ppn::new(0)).expect("ok");
+        let err = flash.erase_block(block, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::EraseFailed { .. }));
+        // Page states and wear are untouched, but tBERS was spent.
+        assert_eq!(
+            flash.page_state(Ppn::new(0)).expect("state"),
+            PageState::Invalid
+        );
+        assert_eq!(flash.erase_count(block).expect("wear"), 0);
+        assert_eq!(flash.stats().erase_failures.get(), 1);
+        assert_eq!(flash.stats().erases.get(), 0);
+        // Retirement takes the block out of service for good.
+        flash.retire_block(block).expect("retire");
+        assert_eq!(flash.stats().retired_blocks.get(), 1);
+        assert!(flash.block_info(block).expect("info").is_retired());
+        assert_eq!(flash.free_pages_in(block).expect("free"), 0);
+        assert!(flash.read_page(Ppn::new(0), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn retire_refuses_blocks_with_valid_pages() {
+        let mut flash = tiny();
+        flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        assert!(matches!(
+            flash.retire_block(BlockId::new(0)).unwrap_err(),
+            FlashOpError::BlockHasValidPages { .. }
+        ));
+    }
+
+    #[test]
+    fn injected_read_error_retries_and_costs_a_second_pass() {
+        let geom = Geometry::new(1, 1, 1, 1, 2, 4).expect("valid geometry");
+        let mut flash = FlashArray::with_faults(
+            geom,
+            FlashTiming::paper_table1(),
+            crate::FaultConfig::none().with_read_error(1.0),
+        );
+        let t = FlashTiming::paper_table1();
+        let done = flash.program_page(Ppn::new(0), SimTime::ZERO).expect("ok");
+        let (read_done, retried) = flash
+            .read_page_outcome(Ppn::new(0), done)
+            .expect("read survives via retry");
+        assert!(retried);
+        assert_eq!(
+            read_done,
+            done + t.read + t.transfer + t.read + t.transfer,
+            "two full sense + transfer passes"
+        );
+        assert_eq!(flash.stats().read_retries.get(), 1);
+        assert_eq!(flash.stats().reads.get(), 2, "the retry re-senses");
+    }
+
+    #[test]
+    fn zero_rate_faults_change_nothing() {
+        let mut faulty = FlashArray::with_faults(
+            *tiny().geometry(),
+            FlashTiming::paper_table1(),
+            crate::FaultConfig::none().with_seed(12345),
+        );
+        let mut plain = tiny();
+        for (a, b) in [(&mut faulty, &mut plain)] {
+            for ppn in 0..4u64 {
+                let da = a.program_page(Ppn::new(ppn), SimTime::ZERO).expect("ok");
+                let db = b.program_page(Ppn::new(ppn), SimTime::ZERO).expect("ok");
+                assert_eq!(da, db);
+            }
+            assert_eq!(a.stats(), b.stats());
+        }
     }
 
     #[test]

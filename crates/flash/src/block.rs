@@ -7,6 +7,10 @@ use core::fmt;
 /// The paper's central move is the `Invalid → Valid` transition
 /// ("rebirth"): a garbage page whose content matches an incoming write
 /// is flipped back to valid instead of being erased.
+///
+/// [`PageState::Bad`] is terminal: a page whose program failed (or
+/// whose whole block was retired) never holds data again and is
+/// skipped by the sequential program cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PageState {
     /// Erased and programmable.
@@ -17,6 +21,8 @@ pub enum PageState {
     /// Holds dead data (a garbage / "zombie" page) awaiting GC — or
     /// revival.
     Invalid,
+    /// Worn out or program-failed; permanently unusable.
+    Bad,
 }
 
 impl fmt::Display for PageState {
@@ -25,12 +31,18 @@ impl fmt::Display for PageState {
             PageState::Free => "free",
             PageState::Valid => "valid",
             PageState::Invalid => "invalid",
+            PageState::Bad => "bad",
         };
         f.write_str(s)
     }
 }
 
 /// Mutable state of one erase block.
+///
+/// Invariant: every page at or beyond `write_cursor` is
+/// [`PageState::Free`] — the cursor is advanced past bad pages by
+/// [`Block::skip_bad`] whenever it moves, so callers may always program
+/// at the cursor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Block {
     pub(crate) pages: Vec<PageState>,
@@ -40,6 +52,10 @@ pub(crate) struct Block {
     pub(crate) erase_count: u64,
     pub(crate) valid_count: u32,
     pub(crate) invalid_count: u32,
+    pub(crate) bad_count: u32,
+    /// Programmable pages remaining; maintained explicitly so the hot
+    /// allocator probe stays O(1) with bad pages in the mix.
+    pub(crate) free_count: u32,
 }
 
 impl Block {
@@ -50,19 +66,72 @@ impl Block {
             erase_count: 0,
             valid_count: 0,
             invalid_count: 0,
+            bad_count: 0,
+            free_count: pages_per_block,
         }
     }
 
     pub(crate) fn free_count(&self) -> u32 {
-        self.pages.len() as u32 - self.write_cursor
+        self.free_count
     }
 
+    /// Advances the cursor past bad pages so it rests on a free page
+    /// (or the end of the block).
+    pub(crate) fn skip_bad(&mut self) {
+        while (self.write_cursor as usize) < self.pages.len()
+            && self.pages[self.write_cursor as usize] == PageState::Bad
+        {
+            self.write_cursor += 1;
+        }
+    }
+
+    /// Marks the page at the cursor valid (a successful program) and
+    /// advances the cursor.
+    pub(crate) fn program_at_cursor(&mut self) {
+        self.pages[self.write_cursor as usize] = PageState::Valid;
+        self.write_cursor += 1;
+        self.valid_count += 1;
+        self.free_count -= 1;
+        self.skip_bad();
+    }
+
+    /// Marks the page at the cursor bad (a failed program) and
+    /// advances the cursor — the page is consumed without ever holding
+    /// data.
+    pub(crate) fn fail_at_cursor(&mut self) {
+        self.pages[self.write_cursor as usize] = PageState::Bad;
+        self.write_cursor += 1;
+        self.bad_count += 1;
+        self.free_count -= 1;
+        self.skip_bad();
+    }
+
+    /// Erases the block: every non-bad page becomes free, bad pages
+    /// stay bad, and the cursor returns to the first free page.
     pub(crate) fn erase(&mut self) {
-        self.pages.fill(PageState::Free);
+        for page in &mut self.pages {
+            if *page != PageState::Bad {
+                *page = PageState::Free;
+            }
+        }
         self.write_cursor = 0;
         self.valid_count = 0;
         self.invalid_count = 0;
+        self.free_count = self.pages.len() as u32 - self.bad_count;
         self.erase_count += 1;
+        self.skip_bad();
+    }
+
+    /// Retires the block: every page becomes bad and nothing is
+    /// programmable ever again. The caller must have relocated or
+    /// purged any data first (no valid pages remain).
+    pub(crate) fn retire(&mut self) {
+        self.pages.fill(PageState::Bad);
+        self.write_cursor = self.pages.len() as u32;
+        self.valid_count = 0;
+        self.invalid_count = 0;
+        self.bad_count = self.pages.len() as u32;
+        self.free_count = 0;
     }
 
     pub(crate) fn info(&self) -> BlockInfo {
@@ -70,6 +139,7 @@ impl Block {
             valid_pages: self.valid_count,
             invalid_pages: self.invalid_count,
             free_pages: self.free_count(),
+            bad_pages: self.bad_count,
             erase_count: self.erase_count,
         }
     }
@@ -85,6 +155,8 @@ pub struct BlockInfo {
     pub invalid_pages: u32,
     /// Pages still programmable.
     pub free_pages: u32,
+    /// Permanently unusable pages (program failures / retirement).
+    pub bad_pages: u32,
     /// How many times this block has been erased (wear).
     pub erase_count: u64,
 }
@@ -94,6 +166,15 @@ impl BlockInfo {
     /// such blocks are sensible GC victims.
     pub fn is_full(&self) -> bool {
         self.free_pages == 0
+    }
+
+    /// Whether the block is retired: every page is bad, so it holds no
+    /// data and can never be programmed or erased back into service.
+    pub fn is_retired(&self) -> bool {
+        self.bad_pages > 0
+            && self.valid_pages == 0
+            && self.invalid_pages == 0
+            && self.free_pages == 0
     }
 }
 
@@ -107,6 +188,7 @@ mod tests {
         assert_eq!(b.free_count(), 8);
         assert_eq!(b.info().valid_pages, 0);
         assert!(!b.info().is_full());
+        assert!(!b.info().is_retired());
     }
 
     #[test]
@@ -117,6 +199,7 @@ mod tests {
         b.write_cursor = 2;
         b.valid_count = 1;
         b.invalid_count = 1;
+        b.free_count = 2;
         b.erase();
         assert_eq!(b.free_count(), 4);
         assert_eq!(b.erase_count, 1);
@@ -124,8 +207,65 @@ mod tests {
     }
 
     #[test]
+    fn failed_programs_consume_pages_and_survive_erase() {
+        let mut b = Block::new(4);
+        b.program_at_cursor(); // page 0 valid
+        b.fail_at_cursor(); // page 1 bad
+        assert_eq!(b.write_cursor, 2);
+        assert_eq!(b.free_count(), 2);
+        assert_eq!(b.info().bad_pages, 1);
+        b.program_at_cursor(); // page 2 valid
+        b.pages[0] = PageState::Invalid;
+        b.pages[2] = PageState::Invalid;
+        b.valid_count = 0;
+        b.invalid_count = 2;
+        b.erase();
+        // Bad pages stay bad; capacity shrinks accordingly.
+        assert_eq!(b.free_count(), 3);
+        assert_eq!(b.pages[1], PageState::Bad);
+        assert_eq!(b.write_cursor, 0, "cursor returns to the first free page");
+    }
+
+    #[test]
+    fn cursor_skips_leading_and_mid_block_bad_pages() {
+        let mut b = Block::new(4);
+        b.fail_at_cursor(); // page 0 bad
+        assert_eq!(b.write_cursor, 1, "cursor already past the bad page");
+        b.program_at_cursor(); // page 1 valid
+        b.fail_at_cursor(); // page 2 bad -> cursor lands on 3
+        assert_eq!(b.write_cursor, 3);
+        b.pages[1] = PageState::Invalid;
+        b.valid_count = 0;
+        b.invalid_count = 1;
+        b.erase();
+        // After erase the cursor skips the bad page 0.
+        assert_eq!(b.write_cursor, 1);
+        b.program_at_cursor(); // page 1 valid again
+        assert_eq!(b.write_cursor, 3, "mid-block bad page 2 skipped");
+    }
+
+    #[test]
+    fn retire_makes_every_page_bad() {
+        let mut b = Block::new(4);
+        b.program_at_cursor();
+        b.pages[0] = PageState::Invalid;
+        b.valid_count = 0;
+        b.invalid_count = 1;
+        b.retire();
+        assert!(b.pages.iter().all(|&p| p == PageState::Bad));
+        assert_eq!(b.free_count(), 0);
+        assert!(b.info().is_retired());
+        assert!(b.info().is_full());
+        // Erasing a retired block frees nothing.
+        b.erase();
+        assert_eq!(b.free_count(), 0);
+        assert!(b.info().is_retired());
+    }
+
+    #[test]
     fn page_state_default_and_display() {
         assert_eq!(PageState::default(), PageState::Free);
         assert_eq!(PageState::Invalid.to_string(), "invalid");
+        assert_eq!(PageState::Bad.to_string(), "bad");
     }
 }

@@ -39,10 +39,12 @@
 
 mod array;
 mod block;
+mod fault;
 mod geometry;
 mod timing;
 
 pub use array::{FlashArray, FlashOpError, FlashStats, WearSummary};
 pub use block::{BlockInfo, PageState};
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use geometry::{BlockId, Geometry, PageAddress};
 pub use timing::FlashTiming;

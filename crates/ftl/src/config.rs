@@ -1,7 +1,7 @@
 //! SSD configuration (Table I of the paper, plus scaled presets).
 
 use zssd_core::{MqConfig, SystemKind};
-use zssd_flash::{FlashTiming, Geometry};
+use zssd_flash::{FaultConfig, FlashTiming, Geometry};
 use zssd_trace::ArrivalProcess;
 use zssd_types::{ConfigError, SimDuration};
 
@@ -81,6 +81,11 @@ pub struct SsdConfig {
     /// sparse representation is kept as an equivalence oracle for
     /// property tests and costs a hash probe per lookup.
     pub sparse_rmap: bool,
+    /// Seeded NAND fault injection (program/erase/read failures). The
+    /// default comes from the `ZSSD_FAULTS` environment knob and is
+    /// [`FaultConfig::none`] when the knob is unset, which makes the
+    /// drive byte-identical to a fault-free build.
+    pub faults: FaultConfig,
 }
 
 impl SsdConfig {
@@ -111,6 +116,7 @@ impl SsdConfig {
             dedup_index_entries: 200_000,
             precondition: true,
             sparse_rmap: false,
+            faults: FaultConfig::from_env(),
         }
     }
 
@@ -236,6 +242,15 @@ impl SsdConfig {
         self
     }
 
+    /// Overrides the fault-injection configuration (replacing whatever
+    /// the `ZSSD_FAULTS` environment knob supplied). Pass
+    /// [`FaultConfig::none`] to pin a drive fault-free regardless of
+    /// the environment.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The spare-capacity fraction this configuration leaves.
     pub fn over_provisioning(&self) -> f64 {
         let total = self.geometry.total_pages() as f64;
@@ -284,6 +299,7 @@ impl SsdConfig {
             ));
         }
         self.arrival.validate().map_err(ConfigError::new)?;
+        self.faults.validate().map_err(ConfigError::new)?;
         Ok(())
     }
 }

@@ -5,7 +5,7 @@ use zssd_core::{
     LxSsdPool, MqDeadValuePool, NoPool, PoolStats, SystemKind,
 };
 use zssd_dedup::DedupStore;
-use zssd_flash::{FlashArray, PageState};
+use zssd_flash::{FlashArray, FlashOpError, PageState};
 use zssd_trace::{initial_value_of, IoOp, TraceRecord};
 use zssd_types::{Fingerprint, Lpn, Ppn, SimTime, ValueId, WriteClock};
 
@@ -99,7 +99,7 @@ impl Ssd {
             Box::new(GreedyGc::new())
         };
         let mut ssd = Ssd {
-            flash: FlashArray::new(config.geometry, config.timing),
+            flash: FlashArray::with_faults(config.geometry, config.timing, config.faults),
             mapping: MappingTable::new(config.logical_pages),
             allocator: Allocator::new(&config.geometry),
             gc,
@@ -305,12 +305,19 @@ impl Ssd {
         let value;
         match self.mapping.lookup(lpn)? {
             Some(ppn) => {
-                done = self.flash.read_page(ppn, arrival)?;
+                let (read_done, retried) = self.flash.read_page_outcome(ppn, arrival)?;
+                done = read_done;
                 value = self
                     .rmap
                     .get(ppn)
                     .expect("mapped pages have physical-page records")
                     .value;
+                if retried {
+                    // The data survived the ECC retry but the page is
+                    // suspect: scrub it onto fresh flash in the
+                    // background. The host latency is the read's alone.
+                    self.scrub_relocate(ppn, done)?;
+                }
             }
             None => {
                 // Answered from mapping state, but the completion still
@@ -337,11 +344,18 @@ impl Ssd {
     ///
     /// Returns an error if `lpn` is beyond the logical capacity.
     pub fn trim(&mut self, lpn: Lpn) -> Result<(), SsdError> {
-        self.mapping.lookup(lpn)?;
+        let mapped = self.mapping.lookup(lpn)?; // address check up front
+
+        // Exactly one count per accepted command, whatever its effect:
+        // trimming an already-trimmed (or never-written) page is an
+        // acknowledged no-op, not a second state change.
+        self.stats.trims += 1;
+        if mapped.is_none() {
+            return Ok(());
+        }
         let now = self.clock;
         self.kill_current(lpn, now)?;
         self.mapping.unmap(lpn)?;
-        self.stats.trims += 1;
         Ok(())
     }
 
@@ -359,6 +373,20 @@ impl Ssd {
     ///
     /// Returns an error on the first failed request.
     pub fn run_trace(mut self, records: &[TraceRecord]) -> Result<RunReport, SsdError> {
+        self.replay(records)?;
+        Ok(self.into_report())
+    }
+
+    /// Replays a trace against the live drive without consuming it, so
+    /// callers can inspect state (e.g. [`Ssd::check_invariants`])
+    /// before finalizing with [`Ssd::into_report`]. Semantics are
+    /// identical to [`Ssd::run_trace`]; each call restarts the
+    /// configured arrival process for unstamped records.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on the first failed request.
+    pub fn replay(&mut self, records: &[TraceRecord]) -> Result<(), SsdError> {
         let mut arrivals = self.config.arrival.times();
         for record in records {
             // The generator is consumed only for unstamped records, so
@@ -384,7 +412,7 @@ impl Ssd {
                 }
             }
         }
-        Ok(self.into_report())
+        Ok(())
     }
 
     /// Finalizes this drive into a [`RunReport`].
@@ -416,6 +444,11 @@ impl Ssd {
             gc_collections: self.stats.gc_collections,
             trims: self.stats.trims,
             read_mismatches: self.stats.read_mismatches,
+            program_failures: flash.program_failures.get(),
+            erase_failures: flash.erase_failures.get(),
+            read_retries: flash.read_retries.get(),
+            retired_blocks: flash.retired_blocks.get(),
+            scrub_programs: self.stats.scrub_programs,
             pool: self.pool.stats(),
             dedup: self.dedup.as_ref().map(|d| d.stats()),
             wear: self.flash.wear_summary(),
@@ -424,6 +457,123 @@ impl Ssd {
             read_latency: read_summary,
             all_latency: all.summary(),
         }
+    }
+
+    /// Checks the cross-structure consistency invariants that must
+    /// hold on any quiescent drive, returning a description of the
+    /// first violation found. The test suites call this after every
+    /// scenario; it is especially valuable under fault injection,
+    /// where retry and retirement paths shuffle state across the
+    /// mapping table, reverse map, dead-value pool, and flash array.
+    ///
+    /// The invariants:
+    ///
+    /// 1. **Mapping ↔ reverse-map bijection** — every mapped LPN
+    ///    points at a *valid* page whose record lists it as an owner,
+    ///    and every owner in every record maps back to that page.
+    /// 2. **Page-state ↔ record coherence** — valid pages carry a
+    ///    record with at least one owner; garbage records carry none;
+    ///    free and bad pages carry no record at all.
+    /// 3. **Dead-value-pool hygiene** — every tracked PPN is an
+    ///    *invalid* page whose record survives (revival needs the
+    ///    content); in particular nothing on a retired block is
+    ///    tracked, so a zombie on dead flash can never be revived.
+    /// 4. **Block accounting** — each block's cached
+    ///    valid/invalid/free/bad counters match a recount of its page
+    ///    states, and sum to the block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` on the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let geometry = &self.config.geometry;
+        // 1. Mapping -> rmap direction.
+        for lpn in (0..self.config.logical_pages).map(Lpn::new) {
+            let Some(ppn) = self.mapping.lookup(lpn).map_err(|e| e.to_string())? else {
+                continue;
+            };
+            let state = self.flash.page_state(ppn).map_err(|e| e.to_string())?;
+            if state != PageState::Valid {
+                return Err(format!("{lpn} maps to {ppn} in state {state}"));
+            }
+            let Some(page) = self.rmap.get(ppn) else {
+                return Err(format!("{lpn} maps to {ppn}, which has no record"));
+            };
+            if !page.owners.contains(&lpn) {
+                return Err(format!("{lpn} maps to {ppn} but is not an owner"));
+            }
+        }
+        // 2–3. Per-page state, record, and pool coherence (rmap ->
+        // mapping direction rides on the owner loop).
+        for ppn in (0..geometry.total_pages()).map(Ppn::new) {
+            let state = self.flash.page_state(ppn).map_err(|e| e.to_string())?;
+            let record = self.rmap.get(ppn);
+            let pooled = self.pool.garbage_weight(ppn).is_some();
+            match state {
+                PageState::Valid => {
+                    let Some(page) = record else {
+                        return Err(format!("valid {ppn} has no record"));
+                    };
+                    if page.owners.is_empty() {
+                        return Err(format!("valid {ppn} has no owners"));
+                    }
+                    for &owner in &page.owners {
+                        if self.mapping.lookup(owner).map_err(|e| e.to_string())? != Some(ppn) {
+                            return Err(format!("{ppn} lists owner {owner} mapped elsewhere"));
+                        }
+                    }
+                    if pooled {
+                        return Err(format!("valid {ppn} tracked by the dead-value pool"));
+                    }
+                }
+                PageState::Invalid => {
+                    if let Some(page) = record {
+                        if !page.owners.is_empty() {
+                            return Err(format!("garbage {ppn} still has owners"));
+                        }
+                    }
+                    if pooled && record.is_none() {
+                        return Err(format!("pool tracks {ppn}, which has no record"));
+                    }
+                }
+                PageState::Free | PageState::Bad => {
+                    if record.is_some() {
+                        return Err(format!("{state} {ppn} has a record"));
+                    }
+                    if pooled {
+                        return Err(format!("{state} {ppn} tracked by the dead-value pool"));
+                    }
+                }
+            }
+        }
+        // 4. Block accounting: cached counters vs a recount.
+        for (block, info) in self.flash.blocks() {
+            let mut counts = [0u32; 4];
+            for ppn in geometry.pages_of(block) {
+                let state = self.flash.page_state(ppn).map_err(|e| e.to_string())?;
+                counts[match state {
+                    PageState::Valid => 0,
+                    PageState::Invalid => 1,
+                    PageState::Free => 2,
+                    PageState::Bad => 3,
+                }] += 1;
+            }
+            let cached = [
+                info.valid_pages,
+                info.invalid_pages,
+                info.free_pages,
+                info.bad_pages,
+            ];
+            if counts != cached {
+                return Err(format!(
+                    "{block} caches valid/invalid/free/bad {cached:?}, recount {counts:?}"
+                ));
+            }
+            if cached.iter().sum::<u32>() != geometry.pages_per_block() {
+                return Err(format!("{block} counters do not sum to the block size"));
+            }
+        }
+        Ok(())
     }
 
     fn record_write_latency(&mut self, arrival: SimTime, done: SimTime) {
@@ -468,11 +618,62 @@ impl Ssd {
     }
 
     /// Programs the next page of the striped host stream at time `t`.
-    fn program_host_page(&mut self, t: SimTime) -> Result<(Ppn, SimTime), SsdError> {
+    ///
+    /// An injected program failure marks the attempted page bad and
+    /// retries on the next page (possibly of a fresh block) once the
+    /// failed pulse finishes — the failure is only visible in the
+    /// status poll, so the retry cannot start earlier. Runs out of
+    /// space rather than loops if the whole device fails.
+    fn program_host_page(&mut self, mut t: SimTime) -> Result<(Ppn, SimTime), SsdError> {
         let plane = self.allocator.next_plane();
-        let block = self.allocator.take_active(plane, &self.flash)?;
-        let (ppn, done) = self.flash.program_next(block, t)?;
-        Ok((ppn, done))
+        loop {
+            let block = self.allocator.take_active(plane, &self.flash)?;
+            match self.flash.program_next(block, t) {
+                Ok(ok) => return Ok(ok),
+                Err(FlashOpError::ProgramFailed { ppn }) => {
+                    t = self.flash.chip_free_at(ppn);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Moves a page whose read needed an ECC retry onto fresh flash in
+    /// the same plane (scrubbing), so the next read of the content
+    /// does not face the same marginal cells. Best-effort: if the
+    /// plane is out of space or the relocation program itself fails,
+    /// the data simply stays where it is — the host read has already
+    /// completed correctly either way.
+    fn scrub_relocate(&mut self, ppn: Ppn, at: SimTime) -> Result<(), SsdError> {
+        let geometry = &self.config.geometry;
+        let plane = geometry.plane_of_block(geometry.block_of(ppn));
+        let dest_block = match self.allocator.take_active(plane, &self.flash) {
+            Ok(block) => block,
+            Err(SsdError::OutOfSpace { .. }) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let (new_ppn, _) = match self.flash.copyback_page(ppn, dest_block, at) {
+            Ok(ok) => ok,
+            Err(FlashOpError::ProgramFailed { .. }) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        self.stats.scrub_programs += 1;
+        let page = self
+            .rmap
+            .remove(ppn)
+            .expect("mapped pages have physical-page records");
+        for &owner in &page.owners {
+            self.mapping.update(owner, new_ppn)?;
+        }
+        if let Some(dedup) = self.dedup.as_mut() {
+            dedup.relocate(ppn, new_ppn)?;
+        }
+        self.rmap.insert(new_ppn, page);
+        // The worn-out old copy is garbage but deliberately *not*
+        // offered to the dead-value pool: its content is still live at
+        // the new address, so revival would resurrect the suspect page.
+        self.flash.invalidate_page(ppn)?;
+        Ok(())
     }
 
     /// Runs GC on `plane` until it is back above the free-block
@@ -545,13 +746,32 @@ impl Ssd {
                     // In-plane relocation uses the copyback advanced
                     // command (tR + tPROG, no channel); the emergency
                     // cross-plane path falls back to read + program.
+                    // Either way an injected program failure consumes
+                    // the attempted destination page and the move
+                    // retries on the next one.
                     let (new_ppn, done) = if emergency {
                         t = self.flash.read_page(ppn, t)?;
-                        let (_, dest_block) = self.allocator.take_active_any(&self.flash)?;
-                        self.flash.program_next(dest_block, t)?
+                        loop {
+                            let (_, dest_block) = self.allocator.take_active_any(&self.flash)?;
+                            match self.flash.program_next(dest_block, t) {
+                                Ok(ok) => break ok,
+                                Err(FlashOpError::ProgramFailed { ppn: failed }) => {
+                                    t = self.flash.chip_free_at(failed);
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
                     } else {
-                        let dest_block = self.allocator.take_active(plane, &self.flash)?;
-                        self.flash.copyback_page(ppn, dest_block, t)?
+                        loop {
+                            let dest_block = self.allocator.take_active(plane, &self.flash)?;
+                            match self.flash.copyback_page(ppn, dest_block, t) {
+                                Ok(ok) => break ok,
+                                Err(FlashOpError::ProgramFailed { ppn: failed }) => {
+                                    t = self.flash.chip_free_at(failed);
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
                     };
                     t = done;
                     self.stats.gc_programs += 1;
@@ -574,13 +794,48 @@ impl Ssd {
                     self.pool.remove_ppn(ppn);
                     self.rmap.remove(ppn);
                 }
-                PageState::Free => {}
+                // Bad pages never held data (a failed program consumed
+                // them before any content landed), so like still-free
+                // pages there is nothing to relocate or purge.
+                PageState::Free | PageState::Bad => {}
             }
         }
-        let done = self.flash.erase_block(victim, t)?;
+        let done = match self.flash.erase_block(victim, t) {
+            Ok(done) => done,
+            Err(FlashOpError::EraseFailed { .. }) => {
+                // The failed pulse spent a full tBERS; retry once from
+                // when the chip frees.
+                let retry_at = self.flash.chip_free_at(geometry.first_ppn_of(victim));
+                match self.flash.erase_block(victim, retry_at) {
+                    Ok(done) => done,
+                    Err(FlashOpError::EraseFailed { .. }) => {
+                        return self.retire_victim(victim);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.allocator.on_block_erased(&geometry, victim);
         self.stats.gc_collections += 1;
         Ok(done)
+    }
+
+    /// Gives up on a block whose erase failed twice: purges every
+    /// remaining pool and reverse-map entry into it (so a zombie on
+    /// dead flash can never be revived) and retires it for good. The
+    /// block never returns to the allocator's free lists — the plane
+    /// permanently shrinks by one block. Returns when the second
+    /// failed erase pulse finished.
+    fn retire_victim(&mut self, victim: zssd_flash::BlockId) -> Result<SimTime, SsdError> {
+        let geometry = self.config.geometry;
+        for ppn in geometry.pages_of(victim) {
+            self.pool.remove_ppn(ppn);
+            self.rmap.remove(ppn);
+        }
+        self.flash.retire_block(victim)?;
+        self.stats.gc_collections += 1;
+        Ok(self.flash.chip_free_at(geometry.first_ppn_of(victim)))
     }
 }
 
@@ -590,10 +845,15 @@ mod tests {
     use zssd_types::SimDuration;
 
     fn ssd(system: SystemKind) -> Ssd {
+        // Pin faults off: these tests assert exact counters and
+        // latencies, and the tiny drive has too little spare capacity
+        // to absorb a `ZSSD_FAULTS` environment's block retirements.
+        // Fault behaviour has its own tests with explicit configs.
         Ssd::new(
             SsdConfig::small_test()
                 .without_precondition()
-                .with_system(system),
+                .with_system(system)
+                .with_faults(zssd_flash::FaultConfig::none()),
         )
         .expect("valid test drive")
     }
@@ -950,6 +1210,111 @@ mod tests {
     }
 
     #[test]
+    fn trim_counts_once_per_command_and_is_idempotent() {
+        let mut s = ssd(SystemKind::MqDvp { entries: 16 });
+        w(&mut s, 0, 7);
+        s.trim(Lpn::new(0)).expect("trim");
+        assert_eq!(s.stats().trims, 1);
+        assert_eq!(s.flash().total_invalid_pages(), 1);
+        let pool_len = s.pool_len();
+        // Trimming the same page again acknowledges the command but
+        // kills nothing a second time.
+        s.trim(Lpn::new(0)).expect("re-trim");
+        assert_eq!(s.stats().trims, 2);
+        assert_eq!(s.flash().total_invalid_pages(), 1);
+        assert_eq!(s.pool_len(), pool_len);
+        // A never-written page: counted once, nothing dies.
+        s.trim(Lpn::new(50)).expect("trim unmapped");
+        assert_eq!(s.stats().trims, 3);
+        assert_eq!(s.flash().total_invalid_pages(), 1);
+        s.check_invariants().expect("consistent after trims");
+    }
+
+    #[test]
+    fn program_failures_retry_onto_fresh_pages() {
+        let config = SsdConfig::small_test().without_precondition().with_faults(
+            zssd_flash::FaultConfig::none()
+                .with_program_fail(0.1)
+                .with_seed(42),
+        );
+        let mut s = Ssd::new(config).expect("drive");
+        let mut shadow = std::collections::HashMap::new();
+        for i in 0..400u64 {
+            let lpn = (i * 13) % 64;
+            let value = 1000 + i;
+            s.write(Lpn::new(lpn), ValueId::new(value), SimTime::ZERO)
+                .unwrap_or_else(|e| panic!("write {i} failed: {e}"));
+            shadow.insert(lpn, value);
+        }
+        let flash = s.flash().stats();
+        assert!(flash.program_failures.get() > 0, "faults must have fired");
+        assert!(s.flash().total_bad_pages() > 0);
+        // Every host write still landed somewhere despite the retries.
+        assert_eq!(s.stats().host_programs, 400);
+        s.check_invariants()
+            .unwrap_or_else(|e| panic!("invariants violated: {e}"));
+        for (&lpn, &value) in &shadow {
+            let (got, _) = s.read(Lpn::new(lpn), SimTime::ZERO).expect("read");
+            assert_eq!(got, ValueId::new(value), "content at L{lpn}");
+        }
+    }
+
+    #[test]
+    fn repeated_erase_failures_retire_the_block() {
+        let config = SsdConfig::small_test().without_precondition().with_faults(
+            zssd_flash::FaultConfig::none()
+                .with_erase_fail(1.0)
+                .with_seed(7),
+        );
+        let mut s = Ssd::new(config).expect("drive");
+        let mut shadow = std::collections::HashMap::new();
+        for i in 0..2000u64 {
+            let lpn = i % 8;
+            let value = 1000 + i;
+            s.write(Lpn::new(lpn), ValueId::new(value), SimTime::ZERO)
+                .unwrap_or_else(|e| panic!("write {i} failed: {e}"));
+            shadow.insert(lpn, value);
+            if s.flash().stats().retired_blocks.get() >= 1 {
+                break;
+            }
+        }
+        let flash = s.flash().stats();
+        assert!(flash.retired_blocks.get() >= 1, "a block must have retired");
+        assert!(
+            flash.erase_failures.get() >= 2,
+            "retirement takes two failures"
+        );
+        assert_eq!(flash.erases.get(), 0, "every erase attempt failed");
+        s.check_invariants()
+            .unwrap_or_else(|e| panic!("invariants violated: {e}"));
+        for (&lpn, &value) in &shadow {
+            let (got, _) = s.read(Lpn::new(lpn), SimTime::ZERO).expect("read");
+            assert_eq!(got, ValueId::new(value), "content at L{lpn}");
+        }
+    }
+
+    #[test]
+    fn read_retries_scrub_the_suspect_page() {
+        let config = SsdConfig::small_test().without_precondition().with_faults(
+            zssd_flash::FaultConfig::none()
+                .with_read_error(1.0)
+                .with_seed(1),
+        );
+        let mut s = Ssd::new(config).expect("drive");
+        w(&mut s, 0, 7);
+        let (v, done) = s.read(Lpn::new(0), SimTime::ZERO).expect("read");
+        assert_eq!(v, ValueId::new(7));
+        assert_eq!(s.flash().stats().read_retries.get(), 1);
+        assert_eq!(s.stats().scrub_programs, 1, "suspect page relocated");
+        s.check_invariants().expect("consistent after scrubbing");
+        // The content survives at its new address (where this read —
+        // with the error rate pinned at 1.0 — retries and scrubs again).
+        let (v2, _) = s.read(Lpn::new(0), done).expect("read");
+        assert_eq!(v2, ValueId::new(7));
+        assert_eq!(s.stats().scrub_programs, 2);
+    }
+
+    #[test]
     fn sustained_random_overwrites_stay_consistent() {
         // Endurance smoke test across all systems: hammer random-ish
         // addresses well past device turnover and verify read-back.
@@ -975,6 +1340,8 @@ mod tests {
                 let (got, _) = s.read(Lpn::new(lpn), SimTime::ZERO).expect("read");
                 assert_eq!(got, ValueId::new(value), "{system}: content at L{lpn}");
             }
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("{system}: invariants violated: {e}"));
         }
     }
 }

@@ -32,6 +32,9 @@ pub struct SsdStats {
     /// the trace recorded — any nonzero count is an FTL consistency
     /// bug (or a trace replayed against the wrong initial state).
     pub read_mismatches: u64,
+    /// NAND programs issued to relocate data off a page that needed a
+    /// read retry (background scrubbing, only under fault injection).
+    pub scrub_programs: u64,
     /// Write latencies.
     pub write_latency: LatencyRecorder,
     /// Read latencies.
@@ -82,6 +85,20 @@ pub struct RunReport {
     /// Replayed reads returning content other than what the trace
     /// recorded (should always be zero; see [`SsdStats::read_mismatches`]).
     pub read_mismatches: u64,
+    /// NAND program operations that failed (fault injection); each one
+    /// consumed a page, marked it bad, and forced a retry elsewhere.
+    pub program_failures: u64,
+    /// NAND erase operations that failed (fault injection).
+    pub erase_failures: u64,
+    /// Host reads that needed a second sense pass to correct an
+    /// injected ECC error.
+    pub read_retries: u64,
+    /// Blocks permanently removed from service after repeated erase
+    /// failures.
+    pub retired_blocks: u64,
+    /// Programs issued to relocate data off pages that needed a read
+    /// retry (scrubbing).
+    pub scrub_programs: u64,
     /// Dead-value-pool counters.
     pub pool: PoolStats,
     /// Dedup counters, when the system deduplicates.
@@ -137,6 +154,22 @@ impl fmt::Display for RunReport {
             self.revived_writes,
             self.deduped_writes
         )?;
+        if self.program_failures != 0
+            || self.erase_failures != 0
+            || self.read_retries != 0
+            || self.retired_blocks != 0
+            || self.scrub_programs != 0
+        {
+            writeln!(
+                f,
+                "  faults: program_failures={} erase_failures={} read_retries={} retired_blocks={} scrub_programs={}",
+                self.program_failures,
+                self.erase_failures,
+                self.read_retries,
+                self.retired_blocks,
+                self.scrub_programs
+            )?;
+        }
         writeln!(f, "  write latency: {}", self.write_latency)?;
         writeln!(f, "  read  latency: {}", self.read_latency)?;
         write!(f, "  all   latency: {}", self.all_latency)
@@ -169,6 +202,11 @@ mod tests {
             gc_collections: 5,
             trims: 0,
             read_mismatches: 0,
+            program_failures: 0,
+            erase_failures: 0,
+            read_retries: 0,
+            retired_blocks: 0,
+            scrub_programs: 0,
             pool: PoolStats::default(),
             dedup: None,
             wear: WearSummary {

@@ -23,11 +23,18 @@ fn small_trace(profile: WorkloadProfile, seed: u64) -> SyntheticTrace {
     SyntheticTrace::generate(&profile.scaled(0.004), seed)
 }
 
+/// Replays the trace and — before finalizing the report — checks the
+/// drive's cross-structure invariants, so every scenario below doubles
+/// as a consistency audit (mapping ↔ reverse map, pool hygiene, block
+/// accounting; see `Ssd::check_invariants`).
 fn run(profile: &WorkloadProfile, trace: &SyntheticTrace, system: SystemKind) -> RunReport {
-    Ssd::new(SsdConfig::for_footprint(profile.lpn_space).with_system(system))
-        .unwrap_or_else(|e| panic!("{system}: construction failed: {e}"))
-        .run_trace(trace.records())
-        .unwrap_or_else(|e| panic!("{system}: run failed: {e}"))
+    let mut ssd = Ssd::new(SsdConfig::for_footprint(profile.lpn_space).with_system(system))
+        .unwrap_or_else(|e| panic!("{system}: construction failed: {e}"));
+    ssd.replay(trace.records())
+        .unwrap_or_else(|e| panic!("{system}: run failed: {e}"));
+    ssd.check_invariants()
+        .unwrap_or_else(|e| panic!("{system}: invariants violated: {e}"));
+    ssd.into_report()
 }
 
 #[test]
@@ -80,6 +87,8 @@ fn content_read_back_matches_shadow_model_for_all_systems() {
             let (value, _) = ssd.read(lpn, at).expect("read");
             assert_eq!(value, expect, "{system}: final content at {lpn}");
         }
+        ssd.check_invariants()
+            .unwrap_or_else(|e| panic!("{system}: invariants violated: {e}"));
     }
 }
 
@@ -105,6 +114,8 @@ fn valid_page_conservation_without_dedup() {
             profile.lpn_space,
             "{system}: valid pages == mapped logical pages"
         );
+        ssd.check_invariants()
+            .unwrap_or_else(|e| panic!("{system}: invariants violated: {e}"));
     }
 }
 
@@ -170,7 +181,7 @@ fn reports_are_internally_consistent() {
         let report = run(&profile, &trace, system);
         assert_eq!(
             report.flash_programs,
-            report.host_programs + report.gc_programs,
+            report.host_programs + report.gc_programs + report.scrub_programs,
             "{system}: program breakdown adds up"
         );
         assert_eq!(
@@ -280,4 +291,48 @@ fn multi_day_traces_replay_day_by_day() {
         ssd.stats().host_writes + ssd.stats().host_reads,
         trace.records().len() as u64
     );
+    ssd.check_invariants()
+        .unwrap_or_else(|e| panic!("invariants violated: {e}"));
+}
+
+#[test]
+fn faulty_drives_stay_consistent_across_systems() {
+    // The whole scenario matrix again, but on flash that injects
+    // program, erase, and read failures. Every survival path —
+    // program retry onto fresh pages, erase retry then block
+    // retirement, read-retry scrubbing — must leave the drive's
+    // cross-structure state coherent and the content intact.
+    let faults = zombie_ssd::flash::FaultConfig::none()
+        .with_program_fail(2e-3)
+        .with_erase_fail(5e-2)
+        .with_read_error(2e-3)
+        .with_seed(0xFA17);
+    let profile = WorkloadProfile::mail().scaled(0.004);
+    let trace = SyntheticTrace::generate(&profile, 41);
+    for system in ALL_SYSTEMS {
+        let mut ssd = Ssd::new(
+            SsdConfig::for_footprint(profile.lpn_space)
+                .with_system(system)
+                .with_faults(faults),
+        )
+        .unwrap_or_else(|e| panic!("{system}: construction failed: {e}"));
+        ssd.replay(trace.records())
+            .unwrap_or_else(|e| panic!("{system}: faulty run failed: {e}"));
+        ssd.check_invariants()
+            .unwrap_or_else(|e| panic!("{system}: invariants violated: {e}"));
+        let report = ssd.into_report();
+        assert_eq!(
+            report.read_mismatches, 0,
+            "{system}: retried reads must still return recorded content"
+        );
+        assert_eq!(
+            report.flash_programs,
+            report.host_programs + report.gc_programs + report.scrub_programs,
+            "{system}: program breakdown adds up under faults"
+        );
+        assert!(
+            report.program_failures > 0 || report.erase_failures > 0 || report.read_retries > 0,
+            "{system}: these rates must actually fire on this trace"
+        );
+    }
 }

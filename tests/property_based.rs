@@ -4,6 +4,7 @@
 //! measurement utilities are monotone.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -11,12 +12,14 @@ use zombie_ssd::core::{
     DeadValuePool, IdealPool, LruDeadValuePool, LxSsdConfig, LxSsdPool, MqConfig, MqDeadValuePool,
     SystemKind,
 };
+use zombie_ssd::flash::FaultConfig;
 use zombie_ssd::ftl::{Ssd, SsdConfig};
 use zombie_ssd::metrics::{Cdf, LatencyRecorder, ShareCurve};
-use zombie_ssd::trace::{ArrivalProcess, SyntheticTrace, WorkloadProfile};
+use zombie_ssd::trace::{ArrivalProcess, SyntheticTrace, TraceRecord, WorkloadProfile};
 use zombie_ssd::types::{
     Fingerprint, Lpn, PopularityDegree, Ppn, SimDuration, SimTime, ValueId, WriteClock,
 };
+use zssd_bench::{run_grid_with_threads, GridCell};
 
 /// One step of the pool-model exercise.
 #[derive(Debug, Clone)]
@@ -262,7 +265,8 @@ proptest! {
             valid += u64::from(info.valid_pages);
             counted += u64::from(info.valid_pages)
                 + u64::from(info.invalid_pages)
-                + u64::from(info.free_pages);
+                + u64::from(info.free_pages)
+                + u64::from(info.bad_pages);
         }
         prop_assert_eq!(counted, geom.total_pages(), "page states partition the device");
         if !system.uses_dedup() {
@@ -380,6 +384,77 @@ proptest! {
             .run_trace(&stamped)
             .expect("stamped run");
         prop_assert_eq!(unstamped_report, stamped_report);
+    }
+
+    /// A seeded fault plan is part of the experiment configuration:
+    /// the same fault seed must reproduce the exact same report run
+    /// after run, and — because fault state lives inside each drive's
+    /// own flash array — whether the runs execute serially or race
+    /// each other on the parallel grid.
+    #[test]
+    fn fault_injection_is_seed_deterministic_across_thread_counts(fault_seed in any::<u64>()) {
+        let faults = FaultConfig::none()
+            .with_program_fail(1e-3)
+            .with_erase_fail(5e-3)
+            .with_read_error(1e-3)
+            .with_seed(fault_seed);
+        let profile = WorkloadProfile::mail().scaled(0.001).with_days(1);
+        let records: Arc<[TraceRecord]> =
+            SyntheticTrace::generate(&profile, 9).into_records().into();
+        let config = SsdConfig::for_footprint(profile.lpn_space)
+            .with_system(SystemKind::MqDvp { entries: 512 })
+            .with_faults(faults);
+        let cells: Vec<GridCell> = (0..3)
+            .map(|i| GridCell::new("mail", format!("run{i}"), config.clone(), records.clone()))
+            .collect();
+        let serial = run_grid_with_threads(cells.clone(), 1).expect("serial grid");
+        let parallel = run_grid_with_threads(cells, 3).expect("parallel grid");
+        prop_assert_eq!(&serial, &parallel, "thread count must not leak into fault decisions");
+        prop_assert_eq!(&serial[0], &serial[1], "same fault seed, same report");
+        prop_assert_eq!(&serial[1], &serial[2], "same fault seed, same report");
+    }
+
+    /// A fault plan with every rate at zero must be indistinguishable
+    /// from no fault plan at all, whatever its seed — the fault layer
+    /// may not perturb a single byte of a faultless run's report.
+    #[test]
+    fn zero_rate_faults_are_byte_identical_to_faultless(fault_seed in any::<u64>()) {
+        let profile = WorkloadProfile::mail().scaled(0.001).with_days(1);
+        let trace = SyntheticTrace::generate(&profile, 9);
+        let config = SsdConfig::for_footprint(profile.lpn_space)
+            .with_system(SystemKind::MqDvp { entries: 512 });
+        let plain = Ssd::new(config.clone().with_faults(FaultConfig::none()))
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("faultless run");
+        let zeroed = Ssd::new(config.with_faults(FaultConfig::none().with_seed(fault_seed)))
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("zero-rate run");
+        prop_assert_eq!(plain, zeroed);
+    }
+
+    /// Reads that complete only after an ECC retry (and the scrub
+    /// relocation it triggers) must still return exactly the values
+    /// the trace recorded, and leave the drive coherent.
+    #[test]
+    fn retried_reads_return_trace_recorded_values(fault_seed in any::<u64>()) {
+        let profile = WorkloadProfile::web().scaled(0.001).with_days(1);
+        let trace = SyntheticTrace::generate(&profile, 9);
+        let config = SsdConfig::for_footprint(profile.lpn_space)
+            .with_system(SystemKind::MqDvp { entries: 512 })
+            .with_faults(FaultConfig::none().with_read_error(0.05).with_seed(fault_seed));
+        let mut ssd = Ssd::new(config).expect("drive");
+        ssd.replay(trace.records()).expect("run");
+        ssd.check_invariants()
+            .unwrap_or_else(|e| panic!("invariants violated: {e}"));
+        let report = ssd.into_report();
+        prop_assert_eq!(report.read_mismatches, 0, "retried reads must stay correct");
+        prop_assert!(report.read_retries > 0, "a 5% ECC rate must fire on this trace");
+        prop_assert_eq!(
+            report.flash_programs,
+            report.host_programs + report.gc_programs + report.scrub_programs
+        );
     }
 
     /// Poisson replay: the same seed reproduces the exact report, the
