@@ -145,6 +145,30 @@ where
         .collect()
 }
 
+/// Runs `n` independent jobs across [`grid_threads`] worker threads
+/// and returns the results **in job order** — the general-purpose
+/// fan-out behind [`run_grid`], exposed for other embarrassingly
+/// parallel work (the `zssd fuzz` differential fuzzer spreads its
+/// seeds through this). Jobs must be pure functions of their index for
+/// the serial/parallel bit-identity guarantee to mean anything.
+pub fn run_jobs<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_indexed(n, grid_threads(), job)
+}
+
+/// [`run_jobs`] with an explicit worker count (1 = serial), for tests
+/// that pin the thread count.
+pub fn run_jobs_with_threads<T, F>(n: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_indexed(n, threads, job)
+}
+
 /// Runs every cell of a grid, fanning out across [`grid_threads`]
 /// worker threads, and returns the reports **in input order**.
 ///

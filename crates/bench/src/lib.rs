@@ -26,7 +26,10 @@ use zssd_core::SystemKind;
 use zssd_ftl::{RunReport, SsdConfig, SsdError};
 use zssd_trace::{ArrivalProcess, SyntheticTrace, TraceRecord, WorkloadProfile};
 
-pub use grid::{grid_for, grid_threads, run_grid, run_grid_with_threads, shared_traces, GridCell};
+pub use grid::{
+    grid_for, grid_threads, run_grid, run_grid_with_threads, run_jobs, run_jobs_with_threads,
+    shared_traces, GridCell,
+};
 
 /// The paper's headline pool size (entries).
 pub const PAPER_POOL_ENTRIES: usize = 200_000;

@@ -35,6 +35,9 @@ COMMANDS:
              [--fault-rate R] [--fault-seed N]
     analyze  --workload W            value life-cycle characterization
              [--scale S] [--seed N]
+    fuzz     [--seeds N]             differential fuzz vs the oracle
+             [--budget OPS] [--base-seed S]
+             [--check-every K] [--corpus DIR]
     help                             this text
 
 SYSTEMS (for --system):
@@ -47,6 +50,16 @@ FAULTS (for --fault-rate; same syntax as the ZSSD_FAULTS env knob):
     a bare probability (applied to program, erase, and read alike), or
     program=P,erase=P,read=P,wear=A,seed=N with any subset of keys;
     --fault-seed overrides the plan seed
+
+FUZZ:
+    each seed generates --budget adversarial commands and replays them
+    through the full config grid (DVP/dedup × faults × arrivals) in
+    lock-step with the reference oracle, checking every read, the
+    drive invariants every --check-every commands, and the program
+    conservation identities; divergences are shrunk to minimal traces
+    and written to --corpus (default tests/corpus). Seeds fan out
+    across ZSSD_THREADS workers; ZSSD_FAULTS sets the faulty column's
+    rates. Exit status is nonzero on any divergence (DESIGN.md §12)
 ";
 
 /// Routes a command line to its implementation.
@@ -65,6 +78,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "run" => run(rest),
         "replay" => replay(rest),
         "analyze" => analyze(rest),
+        "fuzz" => fuzz(rest),
         other => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
     }
 }
@@ -350,6 +364,103 @@ fn analyze(argv: &[String]) -> CliResult {
     Ok(())
 }
 
+fn fuzz(argv: &[String]) -> CliResult {
+    let args = Args::parse(
+        argv,
+        &["seeds", "budget", "base-seed", "check-every", "corpus"],
+    )?;
+    let seeds: usize = args.parse_or("seeds", 8)?;
+    let budget: usize = args.parse_or("budget", 4_096)?;
+    let base_seed: u64 = args.parse_or("base-seed", 1)?;
+    let check_every: usize = args.parse_or("check-every", 1)?;
+    let corpus = args.optional("corpus").unwrap_or("tests/corpus").to_owned();
+    if seeds == 0 || budget == 0 {
+        return Err(Box::new(ArgError(
+            "--seeds and --budget must be positive".into(),
+        )));
+    }
+    let cells = zssd_oracle::standard_grid(base_seed).len();
+    eprintln!(
+        "fuzzing {seeds} seeds x {cells} grid cells, {budget} commands each \
+         ({} worker threads)...",
+        zssd_bench::grid_threads()
+    );
+    let outcomes = zssd_bench::run_jobs(seeds, |i| {
+        zssd_oracle::fuzz_seed(base_seed + i as u64, budget, check_every)
+    });
+    let mut divergences = 0usize;
+    for outcome in &outcomes {
+        let sum = |f: fn(&zssd_oracle::DiffSummary) -> u64| -> u64 {
+            outcome.cells.iter().map(|(_, s)| f(s)).sum()
+        };
+        let dead = outcome
+            .cells
+            .iter()
+            .filter(|(_, s)| s.capacity_death_at.is_some())
+            .count();
+        println!(
+            "seed {:>6}: {} commands x {} cells | reads {} | revived {} | \
+             deduped {} | erases {} | faults {}p/{}e/{}r | retired {}{}{}",
+            outcome.seed,
+            outcome.commands,
+            outcome.cells.len(),
+            sum(|s| s.reads_checked),
+            sum(|s| s.revived_writes),
+            sum(|s| s.deduped_writes),
+            sum(|s| s.erases),
+            sum(|s| s.program_failures),
+            sum(|s| s.erase_failures),
+            sum(|s| s.read_retries),
+            sum(|s| s.retired_blocks),
+            if dead > 0 {
+                format!(" | {dead} cell(s) died of fault-induced capacity loss")
+            } else {
+                String::new()
+            },
+            if outcome.ok() { "" } else { "  <-- DIVERGED" },
+        );
+        for failure in &outcome.failures {
+            divergences += 1;
+            let name = format!("fuzz-seed{}-{}", outcome.seed, slug(&failure.cell));
+            eprintln!("  [{}] {}", failure.cell, failure.detail);
+            let shrunk =
+                zssd_oracle::normalize(&failure.shrunk, zssd_oracle::FUZZ_LOGICAL_PAGES, true);
+            let header = vec![failure.repro.clone(), failure.detail.clone()];
+            match zssd_oracle::write_corpus(&corpus, &name, &header, &shrunk) {
+                Ok(path) => eprintln!(
+                    "  minimized to {} commands -> {}",
+                    shrunk.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("  could not write {corpus}/{name}.trace: {e}"),
+            }
+        }
+    }
+    if divergences > 0 {
+        return Err(Box::new(ArgError(format!(
+            "fuzz: {divergences} divergence(s) across {seeds} seeds; \
+             minimized traces written to {corpus}/"
+        ))));
+    }
+    println!("fuzz: {seeds} seeds x {cells} cells clean — no divergences, no invariant violations");
+    Ok(())
+}
+
+/// Turns a grid-cell label like `DVP+Dedup-64/faulty/bursty` into a
+/// file-name-safe slug.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +538,43 @@ mod tests {
             .collect();
         dispatch(&argv).expect("analyze");
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn fuzz_small_clean_run_succeeds() {
+        let dir = std::env::temp_dir().join(format!("zssd-cli-fuzz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir_str = dir.to_str().expect("utf8 path").to_owned();
+        let argv: Vec<String> = [
+            "fuzz",
+            "--seeds",
+            "2",
+            "--budget",
+            "120",
+            "--base-seed",
+            "7",
+            "--check-every",
+            "8",
+            "--corpus",
+            &dir_str,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("a small clean fuzz run");
+        // A clean run writes no corpus entries.
+        let entries = std::fs::read_dir(&dir).expect("readable").count();
+        assert_eq!(entries, 0, "clean fuzz runs must not write traces");
+        assert!(dispatch(&["fuzz".into(), "--seeds".into(), "0".into()]).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn slug_is_file_name_safe() {
+        assert_eq!(
+            slug("DVP+Dedup-64/faulty/bursty"),
+            "dvp-dedup-64-faulty-bursty"
+        );
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! `zssd-oracle` — the differential-testing harness of the simulator.
+//!
+//! The headline numbers of *Reviving Zombie Pages on SSDs* are pure
+//! FTL-bookkeeping claims, so they are only as trustworthy as the
+//! [`Ssd`] state machine itself. This crate earns that trust
+//! mechanically instead of by inspection:
+//!
+//! * [`OracleDrive`] — a timing-free executable specification: a flat
+//!   `Lpn → ValueId` map with the host-visible semantics of write,
+//!   read, and trim, plus infinite-pool revival and unbounded-dedup
+//!   upper bounds the real counters may never exceed,
+//! * [`generate`] — a seeded, splitmix64-driven adversarial trace
+//!   generator (hot-value churn, trim storms, GC-pressure fills,
+//!   dedup bursts, revive probes),
+//! * [`run_diff`] — lock-step replay of one trace through the real
+//!   drive and the oracle, asserting read agreement on every read,
+//!   [`Ssd::check_invariants`] after every command, and the
+//!   conservation identities at the end,
+//! * [`fuzz_seed`] / [`standard_grid`] — the per-seed pipeline over
+//!   the full configuration grid (DVP on/off × dedup on/off × fault
+//!   rates × arrival processes); pure functions of the seed, so seeds
+//!   fan out across threads bit-identically,
+//! * [`shrink`] — delta-debugging minimization of any failing trace,
+//! * [`write_corpus`] / [`load_corpus`] / [`normalize`] — the
+//!   `tests/corpus/` regression-trace tooling.
+//!
+//! Compiling with `--cfg zssd_fuzz_selftest` arms a deliberate
+//! off-by-one bug in the oracle's write path so CI can prove the
+//! harness detects and minimizes real divergences (DESIGN.md §12).
+//!
+//! [`Ssd`]: zssd_ftl::Ssd
+//! [`Ssd::check_invariants`]: zssd_ftl::Ssd::check_invariants
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod diff;
+mod gen;
+mod shrink;
+mod spec;
+
+pub use corpus::{load_corpus, normalize, write_corpus};
+pub use diff::{
+    fuzz_config, fuzz_seed, moderate_faults, run_diff, standard_grid, DiffCell, DiffSummary,
+    FuzzFailure, SeedOutcome, FUZZ_LOGICAL_PAGES,
+};
+pub use gen::{generate, FuzzRng, GenConfig};
+pub use shrink::{shrink, ShrinkResult};
+pub use spec::{OracleDrive, OracleError, OracleStats};

@@ -11,7 +11,9 @@
 //! * [`core`] — the dead-value pools (MQ, LRU, Ideal, LX-SSD),
 //! * [`dedup`] — the CAFTL-style content-addressed store,
 //! * [`trace`] — synthetic content traces (six paper workloads),
-//! * [`analysis`] — value life-cycle characterization (Figs 1-6).
+//! * [`analysis`] — value life-cycle characterization (Figs 1-6),
+//! * [`oracle`] — the differential-testing harness: executable
+//!   specification, trace fuzzer, shrinker, regression corpus.
 //!
 //! # Quickstart
 //!
@@ -36,5 +38,6 @@ pub use zssd_dedup as dedup;
 pub use zssd_flash as flash;
 pub use zssd_ftl as ftl;
 pub use zssd_metrics as metrics;
+pub use zssd_oracle as oracle;
 pub use zssd_trace as trace;
 pub use zssd_types as types;

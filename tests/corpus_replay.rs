@@ -1,0 +1,155 @@
+//! Replays every checked-in corpus trace (`tests/corpus/*.trace`)
+//! through the full differential grid with per-command invariant
+//! sweeps. Corpus entries are minimal traces produced by the oracle's
+//! shrinker — either minimized divergences written by `zssd fuzz`, or
+//! behavior-preserving seeds from [`regenerate_corpus`] that pin the
+//! interesting drive paths (revival, dedup, trim storms, GC, faults)
+//! with the fewest commands that still reach them.
+
+use std::path::PathBuf;
+
+use zombie_ssd::core::SystemKind;
+use zombie_ssd::flash::FaultConfig;
+use zombie_ssd::oracle::{
+    fuzz_config, generate, load_corpus, normalize, run_diff, shrink, standard_grid, write_corpus,
+    GenConfig, FUZZ_LOGICAL_PAGES,
+};
+use zombie_ssd::trace::ArrivalProcess;
+use zombie_ssd::types::SimDuration;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Every corpus trace must agree with the oracle on every cell of the
+/// standard grid, with the invariant sweep running after every single
+/// command.
+#[test]
+fn corpus_replay() {
+    let corpus = load_corpus(corpus_dir()).expect("corpus directory readable");
+    assert!(
+        corpus.len() >= 3,
+        "expected the checked-in corpus; run \
+         `cargo test --release --test corpus_replay -- --ignored` to regenerate"
+    );
+    for (name, records) in &corpus {
+        assert!(!records.is_empty(), "{name}: empty trace");
+        assert!(
+            records.iter().all(|r| r.arrival.is_some()),
+            "{name}: corpus traces must carry @nanos stamps"
+        );
+        for cell in standard_grid(0xC0) {
+            run_diff(&cell.config, records, 1)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", cell.label));
+        }
+    }
+}
+
+/// Corpus traces replay identically run-to-run: same summary, same
+/// (absent) divergence.
+#[test]
+fn corpus_replay_is_deterministic() {
+    let corpus = load_corpus(corpus_dir()).expect("corpus directory readable");
+    let cell = &standard_grid(0xC0)[standard_grid(0xC0).len() - 1];
+    for (name, records) in &corpus {
+        let first = run_diff(&cell.config, records, 1);
+        let second = run_diff(&cell.config, records, 1);
+        assert_eq!(first, second, "{name}: replay must be deterministic");
+    }
+}
+
+/// Rebuilds `tests/corpus/` from scratch: generates adversarial
+/// traces, shrinks each against a behavior-preserving predicate, and
+/// writes the minimized, normalized result. Run manually after a
+/// generator or shrinker change:
+///
+/// ```text
+/// cargo test --release --test corpus_replay -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/corpus/; run manually to regenerate the corpus"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    let gap = ArrivalProcess::constant(SimDuration::from_micros(50));
+    let clean = FaultConfig::none();
+    let dvp = fuzz_config(SystemKind::MqDvp { entries: 64 }, clean, gap);
+    let dedup = fuzz_config(SystemKind::Dedup, clean, gap);
+    let base = fuzz_config(SystemKind::Baseline, clean, gap);
+    let hot_faults = FaultConfig::none()
+        .with_program_fail(2e-3)
+        .with_erase_fail(5e-3)
+        .with_seed(0xBADD1E);
+    let faulty = fuzz_config(SystemKind::MqDvp { entries: 64 }, hot_faults, gap);
+
+    // (name, source seed, predicate the shrunk trace must preserve)
+    type Keep = Box<dyn Fn(&[zombie_ssd::trace::TraceRecord]) -> bool>;
+    let entries: Vec<(&str, u64, String, Keep)> = vec![
+        (
+            "revive-minimal",
+            0x5EED_0001,
+            "shrunk to the fewest commands that still revive >= 2 zombies on DVP".into(),
+            Box::new(move |t| run_diff(&dvp, t, 1).is_ok_and(|s| s.revived_writes >= 2)),
+        ),
+        (
+            "dedup-minimal",
+            0x5EED_0002,
+            "shrunk to the fewest commands that still dedup >= 2 writes".into(),
+            Box::new(move |t| run_diff(&dedup, t, 1).is_ok_and(|s| s.deduped_writes >= 2)),
+        ),
+        (
+            "trim-storm",
+            0x5EED_0003,
+            "shrunk to the fewest commands keeping >= 6 trims and a checked read".into(),
+            Box::new({
+                let base = base.clone();
+                move |t| run_diff(&base, t, 1).is_ok_and(|s| s.trims >= 6 && s.reads_checked >= 1)
+            }),
+        ),
+        (
+            "gc-pressure",
+            0x5EED_0004,
+            "shrunk to the fewest commands that still force a GC erase".into(),
+            Box::new(move |t| run_diff(&base, t, 1).is_ok_and(|s| s.erases >= 1)),
+        ),
+        (
+            "fault-paths",
+            0x5EED_0005,
+            "shrunk to the fewest commands still hitting program+erase failures".into(),
+            Box::new(move |t| {
+                run_diff(&faulty, t, 1)
+                    .is_ok_and(|s| s.program_failures >= 1 && s.erase_failures >= 1)
+            }),
+        ),
+    ];
+
+    for (name, seed, what, keep) in entries {
+        let trace = generate(seed, &GenConfig::standard(2_000));
+        assert!(
+            keep(&trace),
+            "{name}: source trace must exhibit the property"
+        );
+        let shrunk = shrink(&trace, 8_192, &keep);
+        assert!(keep(&shrunk.records), "{name}: shrinking must preserve it");
+        let normalized = normalize(&shrunk.records, FUZZ_LOGICAL_PAGES, true);
+        assert!(
+            keep(&normalized),
+            "{name}: normalization must preserve it too"
+        );
+        let header = vec![
+            format!("generated by regenerate_corpus (tests/corpus_replay.rs), seed {seed:#x}"),
+            what,
+            format!(
+                "{} of {} generated commands ({} shrink evaluations)",
+                normalized.len(),
+                trace.len(),
+                shrunk.evaluations
+            ),
+        ];
+        let path = write_corpus(&dir, name, &header, &normalized).expect("corpus writable");
+        println!(
+            "{name}: {} commands -> {}",
+            normalized.len(),
+            path.display()
+        );
+    }
+}

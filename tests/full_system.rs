@@ -296,6 +296,81 @@ fn multi_day_traces_replay_day_by_day() {
 }
 
 #[test]
+fn trimmed_page_on_a_retired_block_stays_coherent() {
+    // Regression for the trim × fault interaction: trim an LBA, then
+    // force the GC onto the block holding the trimmed (dead) page
+    // with every erase attempt failing, so the block double-faults
+    // and retires with the zombie still on it. The pool must not keep
+    // a claim on the retired page, and the LBA must keep full
+    // read/write semantics afterwards.
+    let faults = zombie_ssd::flash::FaultConfig::none()
+        .with_erase_fail(1.0)
+        .with_seed(11);
+    // GC early (high watermark): erases never succeed here, so free
+    // pages only shrink — retirement must happen while there is still
+    // headroom for the post-retirement writes below.
+    let mut config = SsdConfig::small_test()
+        .without_precondition()
+        .with_system(SystemKind::MqDvp { entries: 64 })
+        .with_faults(faults);
+    config.gc_low_watermark = 4;
+    let mut ssd = Ssd::new(config).expect("drive");
+    let at = SimTime::ZERO;
+    let trimmed_value = ValueId::new(7);
+    ssd.write(Lpn::new(0), trimmed_value, at).expect("seed L0");
+    // Fill out the planes' first blocks, then trim everything: both
+    // first blocks go all-invalid, making them the GC's first victims.
+    for i in 1..32u64 {
+        ssd.write(Lpn::new(i), ValueId::new(100 + i), at)
+            .expect("fill");
+    }
+    for i in 0..32u64 {
+        ssd.trim(Lpn::new(i)).expect("trim");
+    }
+    // Churn fresh, never-repeated content until GC pressure forces
+    // two blocks through the double-erase-failure retirement path.
+    let mut i = 0u64;
+    while ssd.flash().stats().retired_blocks.get() < 2 {
+        ssd.write(Lpn::new(32 + (i % 64)), ValueId::new(10_000 + i), at)
+            .expect("churn");
+        i += 1;
+        assert!(i < 10_000, "erase failures never retired a block");
+    }
+    assert!(
+        ssd.flash().stats().erase_failures.get() >= 2,
+        "retirement takes two failures"
+    );
+    ssd.check_invariants()
+        .unwrap_or_else(|e| panic!("invariants violated after retirement: {e}"));
+    // The trimmed LBA still reads as trimmed.
+    let (v, _) = ssd.read(Lpn::new(0), at).expect("read of trimmed LBA");
+    assert_eq!(v, zombie_ssd::trace::initial_value_of(Lpn::new(0)));
+    // Rewriting the trimmed content must not revive from a page that
+    // went down with the retired block.
+    assert_eq!(
+        ssd.stats().revived_writes,
+        0,
+        "churn used fresh values only"
+    );
+    ssd.write(Lpn::new(96), trimmed_value, at)
+        .expect("rewrite of the trimmed content");
+    assert_eq!(
+        ssd.stats().revived_writes,
+        0,
+        "the zombie's page retired with its block; reviving it would read bad flash"
+    );
+    let (v, _) = ssd.read(Lpn::new(96), at).expect("read back");
+    assert_eq!(v, trimmed_value);
+    // And the trimmed LBA itself round-trips a fresh write.
+    ssd.write(Lpn::new(0), ValueId::new(0xBEEF), at)
+        .expect("rewrite of the trimmed LBA");
+    let (v, _) = ssd.read(Lpn::new(0), at).expect("read back");
+    assert_eq!(v, ValueId::new(0xBEEF));
+    ssd.check_invariants()
+        .unwrap_or_else(|e| panic!("invariants violated at end: {e}"));
+}
+
+#[test]
 fn faulty_drives_stay_consistent_across_systems() {
     // The whole scenario matrix again, but on flash that injects
     // program, erase, and read failures. Every survival path —
