@@ -4,8 +4,8 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig10_erase_reduction`.
 
 use zssd_bench::{
-    experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries, TextTable,
-    PAPER_POOL_ENTRIES,
+    experiment_profiles, grid_for, grid_metrics_json, maybe_write_csv, maybe_write_metrics, pct,
+    run_grid, scaled_entries, TextTable, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_metrics::reduction_pct;
@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(vec!["trace", "DVP-200K", "Ideal"]);
     let mut mean = [0.0f64; 2];
     let profiles = experiment_profiles();
-    let all = run_grid(grid_for(&profiles, &systems))?;
+    let cells = grid_for(&profiles, &systems);
+    let all = run_grid(cells.clone())?;
+    maybe_write_metrics(
+        "fig10_erase_reduction",
+        "json",
+        &grid_metrics_json(&cells, &all),
+    );
     for (profile, reports) in profiles.iter().zip(all.chunks(systems.len())) {
         let base = reports[0].erases as f64;
         let dvp = reduction_pct(base, reports[1].erases as f64);

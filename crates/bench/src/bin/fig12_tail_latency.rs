@@ -4,8 +4,8 @@
 //! Run with `cargo run -p zssd-bench --release --bin fig12_tail_latency`.
 
 use zssd_bench::{
-    arrival_spec, experiment_profiles, grid_for, maybe_write_csv, pct, run_grid, scaled_entries,
-    TextTable, PAPER_POOL_ENTRIES,
+    arrival_spec, experiment_profiles, grid_for, grid_metrics_json, maybe_write_csv,
+    maybe_write_metrics, pct, run_grid, scaled_entries, TextTable, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_ftl::RunReport;
@@ -45,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let mut mean = 0.0f64;
     let profiles = experiment_profiles();
-    let all = run_grid(grid_for(&profiles, &systems))?;
+    let cells = grid_for(&profiles, &systems);
+    let all = run_grid(cells.clone())?;
+    maybe_write_metrics(
+        "fig12_tail_latency",
+        "json",
+        &grid_metrics_json(&cells, &all),
+    );
     for (profile, reports) in profiles.iter().zip(all.chunks(systems.len())) {
         let base = reports[0].tail_latency();
         let dvp = reports[1].tail_latency();

@@ -7,17 +7,19 @@
 //! Run with `cargo run -p zssd-bench --release --bin gc_episodes`.
 
 use zssd_bench::{
-    config_for, frac_pct, scale, scaled_entries, trace_for, TextTable, PAPER_POOL_ENTRIES,
+    config_for, frac_pct, maybe_write_metrics, scale, scaled_entries, trace_for, TextTable,
+    METRICS_WINDOW, PAPER_POOL_ENTRIES,
 };
 use zssd_core::SystemKind;
 use zssd_ftl::Ssd;
+use zssd_metrics::{windows_to_csv, windows_to_json};
 use zssd_trace::WorkloadProfile;
 use zssd_types::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = WorkloadProfile::mail().scaled(scale());
     let trace = trace_for(&profile);
-    let window = SimDuration::from_millis(250);
+    let window = METRICS_WINDOW;
     let threshold = SimDuration::from_millis(4); // ~ one erase stall
 
     let baseline =
@@ -35,6 +37,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("GC latency episodes (mail): windows of {window}, episode = max > {threshold}\n");
     let base_windows = baseline.timeline.windows(window);
     let dvp_windows = dvp.timeline.windows(window);
+    maybe_write_metrics(
+        "gc_episodes_baseline",
+        "json",
+        &format!("{}\n", windows_to_json(window, &base_windows)),
+    );
+    maybe_write_metrics(
+        "gc_episodes_dvp",
+        "json",
+        &format!("{}\n", windows_to_json(window, &dvp_windows)),
+    );
+    maybe_write_metrics(
+        "gc_episodes_baseline",
+        "csv",
+        &windows_to_csv(&base_windows),
+    );
+    maybe_write_metrics("gc_episodes_dvp", "csv", &windows_to_csv(&dvp_windows));
     let mut table = TextTable::new(vec!["window", "baseline max", "DVP max"]);
     // Print a readable subsample: every Nth window.
     let step = (base_windows.len() / 24).max(1);

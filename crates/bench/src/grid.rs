@@ -289,6 +289,45 @@ mod tests {
     }
 
     #[test]
+    fn grid_metrics_json_labels_cells_and_is_thread_invariant() {
+        let profile = tiny_profile();
+        let mut cells = grid_for(&[profile], &[SystemKind::Baseline, SystemKind::Ideal]);
+        for cell in &mut cells {
+            cell.config.trace_events = true;
+        }
+        let serial = run_grid_with_threads(cells.clone(), 1).expect("serial run");
+        let parallel = run_grid_with_threads(cells.clone(), 4).expect("parallel run");
+        let text = crate::grid_metrics_json(&cells, &serial);
+        assert_eq!(
+            text,
+            crate::grid_metrics_json(&cells, &parallel),
+            "export is byte-identical across thread counts"
+        );
+        let doc = zssd_metrics::Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(zssd_metrics::Json::as_str),
+            Some("zssd-grid-v1")
+        );
+        let cells_json = doc
+            .get("cells")
+            .and_then(zssd_metrics::Json::as_arr)
+            .expect("cells array");
+        assert_eq!(cells_json.len(), 2);
+        assert_eq!(
+            cells_json[1]
+                .get("system")
+                .and_then(zssd_metrics::Json::as_str),
+            Some("Ideal")
+        );
+        let events = cells_json[0]
+            .get("report")
+            .and_then(|r| r.get("events"))
+            .and_then(zssd_metrics::Json::as_arr)
+            .expect("events array");
+        assert!(!events.is_empty(), "traced run exports its events");
+    }
+
+    #[test]
     fn grid_errors_surface_in_input_order() {
         let profile = tiny_profile();
         let records: Arc<[TraceRecord]> = crate::trace_for(&profile).into_records().into();

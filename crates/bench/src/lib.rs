@@ -24,7 +24,9 @@ use std::fmt::Display;
 
 use zssd_core::SystemKind;
 use zssd_ftl::{RunReport, SsdConfig, SsdError};
+use zssd_metrics::Json;
 use zssd_trace::{ArrivalProcess, SyntheticTrace, TraceRecord, WorkloadProfile};
+use zssd_types::SimDuration;
 
 pub use grid::{
     grid_for, grid_threads, run_grid, run_grid_with_threads, run_jobs, run_jobs_with_threads,
@@ -33,6 +35,11 @@ pub use grid::{
 
 /// The paper's headline pool size (entries).
 pub const PAPER_POOL_ENTRIES: usize = 200_000;
+
+/// The timeline bucket width every experiment export uses (250 ms of
+/// simulated time), so GC-episode series from different binaries line
+/// up bucket-for-bucket.
+pub const METRICS_WINDOW: SimDuration = SimDuration::from_millis(250);
 
 /// Reads the experiment scale factor from `ZSSD_SCALE` (default 1.0).
 pub fn scale() -> f64 {
@@ -295,6 +302,56 @@ pub fn maybe_write_csv(name: &str, table: &TextTable) {
     if let Err(e) =
         std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
     {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Serializes a whole experiment grid as one deterministic JSON
+/// document: `{"schema":"zssd-grid-v1","window_ns":…,"cells":[…]}`
+/// with one object per cell — its `workload`/`system` labels plus the
+/// full [`RunReport::to_json`] report — in input (row-major) order.
+/// Because reports are input-ordered regardless of `ZSSD_THREADS`, the
+/// output is byte-identical for serial and parallel runs.
+///
+/// # Panics
+///
+/// Panics if `cells` and `reports` have different lengths (a grid's
+/// reports always pair one-to-one with its cells).
+pub fn grid_metrics_json(cells: &[GridCell], reports: &[RunReport]) -> String {
+    assert_eq!(
+        cells.len(),
+        reports.len(),
+        "one report per grid cell required"
+    );
+    let cell_objects = cells
+        .iter()
+        .zip(reports)
+        .map(|(cell, report)| {
+            Json::Obj(vec![
+                ("workload".into(), Json::Str(cell.row.clone())),
+                ("system".into(), Json::Str(cell.col.clone())),
+                ("report".into(), report.to_json(METRICS_WINDOW)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("zssd-grid-v1".into())),
+        ("window_ns".into(), Json::U64(METRICS_WINDOW.as_nanos())),
+        ("cells".into(), Json::Arr(cell_objects)),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Writes an export as `<name>.<ext>` into the directory named by the
+/// `ZSSD_METRICS` environment variable, if set — the metrics twin of
+/// [`maybe_write_csv`]. Silent no-op otherwise; I/O errors are
+/// reported to stderr but never fail an experiment.
+pub fn maybe_write_metrics(name: &str, ext: &str, contents: &str) {
+    let Ok(dir) = std::env::var("ZSSD_METRICS") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.{ext}"));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }

@@ -29,10 +29,16 @@ COMMANDS:
              [--entries N] [--scale S] [--seed N] [--days D]
              [--arrival A] [--interval-us U]
              [--fault-rate R] [--fault-seed N]
+             [--metrics-out F]           write the run report as JSON
     replay   --trace F --system SYS      simulate a trace file
              [--entries N] [--footprint P] [--seed N]
              [--arrival A] [--interval-us U]
              [--fault-rate R] [--fault-seed N]
+             [--metrics-out F]           write the run report as JSON
+    events   --workload W --system SYS   trace a run's event stream
+             [--entries N] [--scale S] [--seed N] [--days D]
+             [--tail N]                  print the last N events (20)
+             [--out F]                   write the full stream as CSV
     analyze  --workload W            value life-cycle characterization
              [--scale S] [--seed N]
     fuzz     [--seeds N]             differential fuzz vs the oracle
@@ -50,6 +56,13 @@ FAULTS (for --fault-rate; same syntax as the ZSSD_FAULTS env knob):
     a bare probability (applied to program, erase, and read alike), or
     program=P,erase=P,read=P,wear=A,seed=N with any subset of keys;
     --fault-seed overrides the plan seed
+
+METRICS (DESIGN.md §13):
+    --metrics-out writes the schema `zssd-metrics-v1` JSON report
+    (counters, latency digests, phase timers, wear, windowed timeline);
+    `zssd events` runs with event tracing on and prints/exports the
+    typed, timestamped event stream. Both are byte-deterministic for a
+    given workload, seed, and configuration
 
 FUZZ:
     each seed generates --budget adversarial commands and replays them
@@ -77,6 +90,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "gen" => gen(rest),
         "run" => run(rest),
         "replay" => replay(rest),
+        "events" => events(rest),
         "analyze" => analyze(rest),
         "fuzz" => fuzz(rest),
         other => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
@@ -251,6 +265,7 @@ fn simulate(
     system: SystemKind,
     arrival: &ArrivalFlags,
     faults: FaultConfig,
+    metrics_out: Option<&str>,
 ) -> CliResult {
     let config = arrival.apply(
         SsdConfig::for_footprint(footprint)
@@ -273,6 +288,11 @@ fn simulate(
         "  wear: min {} / mean {:.1} / max {} erases per block",
         report.wear.min_erases, report.wear.mean_erases, report.wear.max_erases
     );
+    if let Some(path) = metrics_out {
+        let doc = report.to_json(zssd_bench::METRICS_WINDOW);
+        std::fs::write(path, format!("{doc}\n"))?;
+        eprintln!("wrote metrics report to {path}");
+    }
     Ok(())
 }
 
@@ -290,6 +310,7 @@ fn run(argv: &[String]) -> CliResult {
             "interval-us",
             "fault-rate",
             "fault-seed",
+            "metrics-out",
         ],
     )?;
     let profile = scaled_profile(&args)?;
@@ -299,7 +320,14 @@ fn run(argv: &[String]) -> CliResult {
     let trace = SyntheticTrace::generate(&profile, seed);
     let arrival = ArrivalFlags::from_args(&args)?;
     let faults = fault_flags(&args)?;
-    simulate(trace.records(), profile.lpn_space, system, &arrival, faults)
+    simulate(
+        trace.records(),
+        profile.lpn_space,
+        system,
+        &arrival,
+        faults,
+        args.optional("metrics-out"),
+    )
 }
 
 fn replay(argv: &[String]) -> CliResult {
@@ -315,6 +343,7 @@ fn replay(argv: &[String]) -> CliResult {
             "interval-us",
             "fault-rate",
             "fault-seed",
+            "metrics-out",
         ],
     )?;
     let records = read_file(args.required("trace")?)?;
@@ -328,7 +357,62 @@ fn replay(argv: &[String]) -> CliResult {
     let footprint: u64 = args.parse_or("footprint", max_lpn.max(64))?;
     let arrival = ArrivalFlags::from_args(&args)?;
     let faults = fault_flags(&args)?;
-    simulate(&records, footprint, system, &arrival, faults)
+    simulate(
+        &records,
+        footprint,
+        system,
+        &arrival,
+        faults,
+        args.optional("metrics-out"),
+    )
+}
+
+/// `zssd events` — run a workload with event tracing enabled, print
+/// the tail of the unified event stream, and optionally export the
+/// whole stream as CSV.
+fn events(argv: &[String]) -> CliResult {
+    let args = Args::parse(
+        argv,
+        &[
+            "workload", "system", "entries", "scale", "seed", "days", "tail", "out",
+        ],
+    )?;
+    let profile = scaled_profile(&args)?;
+    let entries: usize = args.parse_or("entries", 200_000)?;
+    let system = system(args.required("system")?, entries)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let tail: usize = args.parse_or("tail", 20)?;
+    let trace = SyntheticTrace::generate(&profile, seed);
+    let config = SsdConfig::for_footprint(profile.lpn_space)
+        .with_system(system)
+        .with_event_tracing(true);
+    eprintln!(
+        "tracing {} requests on {} ({} physical pages)...",
+        trace.records().len(),
+        system,
+        config.geometry.total_pages()
+    );
+    let report = Ssd::new(config)?.run_trace(trace.records())?;
+    println!(
+        "{} events recorded ({} writes, {} reads, {} revives, {} GC erases)",
+        report.events.len(),
+        report.host_writes,
+        report.host_reads,
+        report.revived_writes,
+        report.erases
+    );
+    let start = report.events.len().saturating_sub(tail);
+    if start > 0 {
+        println!("  ... {start} earlier events (--tail N shows more, --out F exports all)");
+    }
+    for event in &report.events[start..] {
+        println!("{event}");
+    }
+    if let Some(path) = args.optional("out") {
+        std::fs::write(path, zssd_metrics::events_to_csv(&report.events))?;
+        eprintln!("wrote {} events to {path}", report.events.len());
+    }
+    Ok(())
 }
 
 fn analyze(argv: &[String]) -> CliResult {
@@ -566,6 +650,70 @@ mod tests {
         let entries = std::fs::read_dir(&dir).expect("readable").count();
         assert_eq!(entries, 0, "clean fuzz runs must not write traces");
         assert!(dispatch(&["fuzz".into(), "--seeds".into(), "0".into()]).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn run_writes_metrics_json_and_events_exports_csv() {
+        let dir = std::env::temp_dir().join(format!("zssd-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let json_path = dir.join("report.json");
+        let json_str = json_path.to_str().expect("utf8 path").to_owned();
+        let argv: Vec<String> = [
+            "run",
+            "--workload",
+            "trans",
+            "--system",
+            "dvp",
+            "--scale",
+            "0.002",
+            "--entries",
+            "64",
+            "--metrics-out",
+            &json_str,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("run with --metrics-out");
+        let text = std::fs::read_to_string(&json_path).expect("report written");
+        let doc = zssd_metrics::Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(zssd_metrics::Json::as_str),
+            Some("zssd-metrics-v1")
+        );
+        assert!(
+            doc.get("counters")
+                .and_then(|c| c.get("host_writes"))
+                .and_then(zssd_metrics::Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+
+        let csv_path = dir.join("events.csv");
+        let csv_str = csv_path.to_str().expect("utf8 path").to_owned();
+        let argv: Vec<String> = [
+            "events",
+            "--workload",
+            "trans",
+            "--system",
+            "dvp",
+            "--scale",
+            "0.002",
+            "--entries",
+            "64",
+            "--tail",
+            "5",
+            "--out",
+            &csv_str,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&argv).expect("events with --out");
+        let csv = std::fs::read_to_string(&csv_path).expect("events written");
+        assert!(csv.starts_with("seq,at_ns,kind,fields"));
+        assert!(csv.contains("host_write"));
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

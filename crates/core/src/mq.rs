@@ -207,7 +207,9 @@ impl MqDeadValuePool {
             let Some(head) = self.queues[q].head() else {
                 continue;
             };
-            if self.slab.get(head).expire < now {
+            // §IV-C: demote when the "expiration time has passed" —
+            // inclusive, so a lifetime elapsing exactly at `now` counts.
+            if self.slab.get(head).expire <= now {
                 self.queues[q].detach(&mut self.slab, head);
                 self.queues[q - 1].push_tail(&mut self.slab, head);
                 let expire = now.plus(self.hottest_interval);
@@ -500,6 +502,30 @@ mod tests {
         insert(&mut p, 2, 10, 0, 20);
         assert_eq!(p.queue_of(fp(1)), Some(0), "expired head demoted");
         assert!(p.stats().demotions >= 1);
+    }
+
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        // Regression: `demote_expired` used `expire < now`, so an entry
+        // whose lifetime elapsed exactly at `now` was never demoted.
+        // §IV-C demotes once the expiration "has passed" — inclusive.
+        let mut p = MqDeadValuePool::new(MqConfig {
+            num_queues: 4,
+            capacity: 16,
+            initial_hottest_interval: 5,
+        });
+        // Promote value 1 to Q1 at now=2; expire = 2 + 5 = 7.
+        insert(&mut p, 1, 1, 2, 1);
+        insert(&mut p, 1, 2, 2, 2);
+        assert_eq!(p.queue_of(fp(1)), Some(1));
+        // Insertion at exactly now == expire must demote the Q1 head.
+        insert(&mut p, 2, 10, 0, 7);
+        assert_eq!(
+            p.queue_of(fp(1)),
+            Some(0),
+            "boundary demotion at expire == now"
+        );
+        assert_eq!(p.stats().demotions, 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use core::fmt;
 use std::error::Error;
 
-use zssd_metrics::Counter;
+use zssd_metrics::{Counter, Event, FaultEvent};
 use zssd_types::{AddressError, Ppn, SimTime};
 
 use crate::block::{Block, BlockInfo, PageState};
@@ -184,6 +184,13 @@ pub struct FlashArray {
     controller_busy_until: SimTime,
     stats: FlashStats,
     fault: FaultPlan,
+    /// Event-trace buffer (DESIGN.md §13). The array cannot see the
+    /// FTL's unified [`zssd_metrics::EventLog`], so fault/retirement
+    /// events are buffered here and absorbed by the owner before each
+    /// of its own emissions, preserving causal order. Empty and
+    /// untouched unless tracing is enabled.
+    trace: bool,
+    events: Vec<(SimTime, Event)>,
 }
 
 impl FlashArray {
@@ -207,6 +214,36 @@ impl FlashArray {
             controller_busy_until: SimTime::ZERO,
             stats: FlashStats::default(),
             fault: FaultPlan::new(faults),
+            trace: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Enables or disables event tracing. Disabled by default; when
+    /// disabled, emission sites cost one branch and the buffer stays
+    /// empty.
+    pub fn set_event_tracing(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Whether event tracing is enabled.
+    pub fn event_tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Drains the buffered fault/retirement events in emission order.
+    /// The FTL absorbs these into its unified log before each of its
+    /// own emissions.
+    pub fn take_events(&mut self) -> Vec<(SimTime, Event)> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn emit(&mut self, at: SimTime, event: Event) {
+        if self.trace {
+            self.events.push((at, event));
         }
     }
 
@@ -348,6 +385,13 @@ impl FlashArray {
             done = retry_xfer + self.timing.transfer;
             self.stats.reads.incr();
             self.stats.read_retries.incr();
+            self.emit(
+                done,
+                Event::Fault {
+                    kind: FaultEvent::ReadRetry,
+                    unit: ppn.index(),
+                },
+            );
         }
         self.chip_busy_until[chip] = done;
         self.channel_busy_until[channel] = done;
@@ -408,6 +452,13 @@ impl FlashArray {
         self.chip_busy_until[chip] = done;
         if failed {
             self.stats.program_failures.incr();
+            self.emit(
+                done,
+                Event::Fault {
+                    kind: FaultEvent::Program,
+                    unit: ppn.index(),
+                },
+            );
             return Err(FlashOpError::ProgramFailed { ppn });
         }
         self.stats.programs.incr();
@@ -547,6 +598,13 @@ impl FlashArray {
         self.stats.reads.incr();
         if failed {
             self.stats.program_failures.incr();
+            self.emit(
+                done,
+                Event::Fault {
+                    kind: FaultEvent::Program,
+                    unit: dest.index(),
+                },
+            );
             return Err(FlashOpError::ProgramFailed { ppn: dest });
         }
         self.stats.programs.incr();
@@ -579,6 +637,13 @@ impl FlashArray {
         self.chip_busy_until[chip] = done;
         if failed {
             self.stats.erase_failures.incr();
+            self.emit(
+                done,
+                Event::Fault {
+                    kind: FaultEvent::Erase,
+                    unit: block.index(),
+                },
+            );
             return Err(FlashOpError::EraseFailed { block });
         }
         self.blocks[block.index() as usize].erase();
@@ -608,6 +673,16 @@ impl FlashArray {
         }
         b.retire();
         self.stats.retired_blocks.incr();
+        // Retirement itself is pure bookkeeping; timestamp it with the
+        // owning chip's busy-until, which the failed erases just paid.
+        let at =
+            self.chip_busy_until[self.geometry.chip_of(self.geometry.first_ppn_of(block)) as usize];
+        self.emit(
+            at,
+            Event::Retire {
+                block: block.index(),
+            },
+        );
         Ok(())
     }
 
@@ -1128,6 +1203,44 @@ mod tests {
             }
             assert_eq!(a.stats(), b.stats());
         }
+    }
+
+    #[test]
+    fn event_tracing_buffers_faults_and_retirements() {
+        let geom = Geometry::new(1, 1, 1, 1, 2, 4).expect("valid geometry");
+        let mut flash = FlashArray::with_faults(
+            geom,
+            FlashTiming::paper_table1(),
+            crate::FaultConfig::none().with_erase_fail(1.0),
+        );
+        // Disabled by default: nothing is buffered.
+        assert!(!flash.event_tracing());
+        let block = BlockId::new(0);
+        let _ = flash.erase_block(block, SimTime::ZERO);
+        assert!(flash.take_events().is_empty());
+
+        flash.set_event_tracing(true);
+        let err = flash.erase_block(block, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FlashOpError::EraseFailed { .. }));
+        flash.retire_block(block).expect("retire");
+        let events = flash.take_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0].1,
+            Event::Fault {
+                kind: FaultEvent::Erase,
+                unit: 0
+            }
+        ));
+        assert!(matches!(events[1].1, Event::Retire { block: 0 }));
+        // The retirement is stamped with the chip time the failed
+        // erases paid, and draining empties the buffer.
+        assert_eq!(events[1].0, flash.chip_free_at(Ppn::new(0)));
+        assert!(flash.take_events().is_empty());
+        // Turning tracing off clears any pending buffer.
+        let _ = flash.erase_block(block, SimTime::ZERO);
+        flash.set_event_tracing(false);
+        assert!(flash.take_events().is_empty());
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! operation, which is how a dead-value-pool hit short-circuits a
 //! write.
 //!
+//! Observability: with [`FlashArray::set_event_tracing`] enabled, the
+//! array buffers typed fault and retirement events
+//! ([`zssd_metrics::Event`]) that the FTL absorbs into its unified,
+//! deterministic run log (DESIGN.md §13).
+//!
 //! # Examples
 //!
 //! ```

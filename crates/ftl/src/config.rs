@@ -86,6 +86,12 @@ pub struct SsdConfig {
     /// [`FaultConfig::none`] when the knob is unset, which makes the
     /// drive byte-identical to a fault-free build.
     pub faults: FaultConfig,
+    /// Record a typed, timestamped event per host request, revive,
+    /// dedup hit, GC action, scrub, fault, and retirement (DESIGN.md
+    /// §13). Off by default: the disabled path is a single branch per
+    /// emission site and keeps the simulator's timing and counters
+    /// byte-identical to a build without tracing.
+    pub trace_events: bool,
 }
 
 impl SsdConfig {
@@ -117,6 +123,7 @@ impl SsdConfig {
             precondition: true,
             sparse_rmap: false,
             faults: FaultConfig::from_env(),
+            trace_events: false,
         }
     }
 
@@ -239,6 +246,16 @@ impl SsdConfig {
     /// sparse path exists so equivalence tests can compare the two.
     pub fn with_sparse_rmap(mut self, sparse: bool) -> Self {
         self.sparse_rmap = sparse;
+        self
+    }
+
+    /// Enables or disables run-wide event tracing. The trace is
+    /// surfaced as [`RunReport::events`] and through the
+    /// `zssd events` CLI subcommand.
+    ///
+    /// [`RunReport::events`]: crate::RunReport
+    pub fn with_event_tracing(mut self, trace: bool) -> Self {
+        self.trace_events = trace;
         self
     }
 
@@ -392,6 +409,16 @@ mod tests {
             !SsdConfig::small_test()
                 .with_verify_reads(false)
                 .verify_reads
+        );
+    }
+
+    #[test]
+    fn event_tracing_defaults_off() {
+        assert!(!SsdConfig::small_test().trace_events);
+        assert!(
+            SsdConfig::small_test()
+                .with_event_tracing(true)
+                .trace_events
         );
     }
 

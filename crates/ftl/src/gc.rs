@@ -198,12 +198,27 @@ mod tests {
         let mut flash = setup();
         fill_block(&mut flash, 0, 2);
         fill_block(&mut flash, 1, 3);
-        // Block 2 stays unwritten (not full): never a candidate.
-        let victim =
+        // Block 2 is only partially programmed (3 of 4 pages), yet all
+        // of its written pages are invalid — the most garbage in the
+        // plane. Unfull, so it must never be a candidate.
+        let block2 = BlockId::new(2);
+        let pages: Vec<Ppn> = flash.geometry().pages_of(block2).take(3).collect();
+        for _ in &pages {
+            flash.program_next(block2, SimTime::ZERO).expect("program");
+        }
+        for ppn in pages {
+            flash.invalidate_page(ppn).expect("invalidate");
+        }
+        // Without exclusion: block 1 wins (full, 3 invalid); block 2's
+        // 3 invalid pages don't count because it is not full.
+        let victim = GreedyGc::new().select_victim(&flash, 0, None, &NoPool::new());
+        assert_eq!(victim, Some(BlockId::new(1)));
+        // Excluding block 1 (the active block): selection falls back to
+        // block 0 (2 invalid), still skipping the garbage-richer but
+        // unfull block 2.
+        let fallback =
             GreedyGc::new().select_victim(&flash, 0, Some(BlockId::new(1)), &NoPool::new());
-        assert_eq!(victim, Some(BlockId::new(0)));
-        let none = GreedyGc::new().select_victim(&flash, 0, Some(BlockId::new(1)), &NoPool::new());
-        assert_eq!(none, Some(BlockId::new(0)));
+        assert_eq!(fallback, Some(BlockId::new(0)));
     }
 
     #[test]

@@ -6,8 +6,9 @@ use zssd_core::{
 };
 use zssd_dedup::DedupStore;
 use zssd_flash::{FlashArray, FlashOpError, PageState};
+use zssd_metrics::{Event, EventLog, EventSink};
 use zssd_trace::{initial_value_of, IoOp, TraceRecord};
-use zssd_types::{Fingerprint, Lpn, Ppn, SimTime, ValueId, WriteClock};
+use zssd_types::{Fingerprint, Lpn, Ppn, SimDuration, SimTime, ValueId, WriteClock};
 
 use crate::config::SsdConfig;
 use crate::error::SsdError;
@@ -57,6 +58,11 @@ pub struct Ssd {
     rmap: Rmap,
     clock: WriteClock,
     stats: SsdStats,
+    /// The unified run-wide event log (`None` unless the config asked
+    /// for tracing). The flash layer buffers its own events; they are
+    /// absorbed here — in causal program order — before each FTL-level
+    /// emission, so one log holds the whole drive's total order.
+    events: Option<EventLog>,
 }
 
 impl Ssd {
@@ -98,8 +104,10 @@ impl Ssd {
         } else {
             Box::new(GreedyGc::new())
         };
+        let mut flash = FlashArray::with_faults(config.geometry, config.timing, config.faults);
+        flash.set_event_tracing(config.trace_events);
         let mut ssd = Ssd {
-            flash: FlashArray::with_faults(config.geometry, config.timing, config.faults),
+            flash,
             mapping: MappingTable::new(config.logical_pages),
             allocator: Allocator::new(&config.geometry),
             gc,
@@ -112,6 +120,7 @@ impl Ssd {
             },
             clock: WriteClock::ZERO,
             stats: SsdStats::new(),
+            events: config.trace_events.then(EventLog::new),
             config,
         };
         if ssd.config.precondition {
@@ -175,7 +184,34 @@ impl Ssd {
         self.flash.reset_time();
         self.flash.reset_stats();
         self.stats = SsdStats::new();
+        // The warm-up fill is not part of the measured run: drop any
+        // events it buffered and restart sequence numbering.
+        let _ = self.flash.take_events();
+        if let Some(log) = self.events.as_mut() {
+            log.clear();
+        }
         Ok(())
+    }
+
+    /// Absorbs events buffered by the flash layer, then appends one
+    /// FTL-level event, keeping the unified log in causal program
+    /// order. A single branch when tracing is disabled.
+    fn emit(&mut self, at: SimTime, event: Event) {
+        let Some(log) = self.events.as_mut() else {
+            return;
+        };
+        for (t, buffered) in self.flash.take_events() {
+            log.emit(t, buffered);
+        }
+        log.emit(at, event);
+    }
+
+    /// The event trace recorded so far (empty unless the config enabled
+    /// [`SsdConfig::with_event_tracing`]). Events the flash layer has
+    /// buffered but the FTL has not yet absorbed are not visible here;
+    /// [`Ssd::into_report`] performs the final drain.
+    pub fn events(&self) -> &[zssd_metrics::TracedEvent] {
+        self.events.as_ref().map_or(&[], |log| log.events())
     }
 
     /// Services one host write of `value` to `lpn` arriving at
@@ -232,7 +268,8 @@ impl Ssd {
             // controller and the zombie's channel — a revival on a busy
             // device queues like any other request.
             let done = self.flash.controller_complete(Some(zombie), t)?;
-            self.record_write_latency(arrival, done);
+            self.emit(done, Event::Revive { lpn, ppn: zombie });
+            self.record_write_latency(lpn, arrival, done);
             return Ok(done);
         }
 
@@ -255,7 +292,8 @@ impl Ssd {
                 }
                 self.stats.deduped_writes += 1;
                 let done = self.flash.controller_complete(Some(shared), t)?;
-                self.record_write_latency(arrival, done);
+                self.emit(done, Event::DedupHit { lpn, ppn: shared });
+                self.record_write_latency(lpn, arrival, done);
                 return Ok(done);
             }
         }
@@ -285,7 +323,7 @@ impl Ssd {
         // the reclamation time is charged to the triggering request
         // (this is where the paper's tail latency comes from).
         let done = self.maybe_gc(plane, done)?;
-        self.record_write_latency(arrival, done);
+        self.record_write_latency(lpn, arrival, done);
         Ok(done)
     }
 
@@ -329,6 +367,7 @@ impl Ssd {
         let latency = done.saturating_since(arrival);
         self.stats.read_latency.record(latency);
         self.stats.timeline.record(arrival, latency);
+        self.emit(done, Event::HostRead { lpn, latency });
         Ok((value, done))
     }
 
@@ -421,6 +460,19 @@ impl Ssd {
     /// move into the report instead of being cloned — at experiment
     /// scale those hold millions of samples per run.
     pub fn into_report(mut self) -> RunReport {
+        // Final drain: absorb any flash events emitted since the last
+        // FTL-level emission, then move the log into the report.
+        if let Some(log) = self.events.as_mut() {
+            for (t, buffered) in self.flash.take_events() {
+                log.emit(t, buffered);
+            }
+        }
+        let events = self
+            .events
+            .take()
+            .map(EventLog::into_events)
+            .unwrap_or_default();
+        let phases = std::mem::take(&mut self.stats.phases);
         let flash = self.flash.stats();
         let mut write_latency = std::mem::take(&mut self.stats.write_latency);
         let mut read_latency = std::mem::take(&mut self.stats.read_latency);
@@ -456,6 +508,8 @@ impl Ssd {
             write_latency: write_summary,
             read_latency: read_summary,
             all_latency: all.summary(),
+            phases,
+            events,
         }
     }
 
@@ -576,10 +630,11 @@ impl Ssd {
         Ok(())
     }
 
-    fn record_write_latency(&mut self, arrival: SimTime, done: SimTime) {
+    fn record_write_latency(&mut self, lpn: Lpn, arrival: SimTime, done: SimTime) {
         let latency = done.saturating_since(arrival);
         self.stats.write_latency.record(latency);
         self.stats.timeline.record(arrival, latency);
+        self.emit(done, Event::HostWrite { lpn, latency });
     }
 
     /// Kills the content currently mapped at `lpn` (if any): releases
@@ -652,12 +707,22 @@ impl Ssd {
             Err(SsdError::OutOfSpace { .. }) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let (new_ppn, _) = match self.flash.copyback_page(ppn, dest_block, at) {
+        let (new_ppn, scrub_done) = match self.flash.copyback_page(ppn, dest_block, at) {
             Ok(ok) => ok,
             Err(FlashOpError::ProgramFailed { .. }) => return Ok(()),
             Err(e) => return Err(e.into()),
         };
         self.stats.scrub_programs += 1;
+        self.stats
+            .phases
+            .add("scrub", scrub_done.saturating_since(at));
+        self.emit(
+            scrub_done,
+            Event::Scrub {
+                src: ppn,
+                dest: new_ppn,
+            },
+        );
         let page = self
             .rmap
             .remove(ppn)
@@ -710,6 +775,10 @@ impl Ssd {
                 None => break,
             }
         }
+        let stalled = t.saturating_since(now);
+        if stalled > SimDuration::ZERO {
+            self.stats.phases.add("gc_stall", stalled);
+        }
         Ok(t)
     }
 
@@ -739,6 +808,20 @@ impl Ssd {
         emergency: bool,
     ) -> Result<SimTime, SsdError> {
         let geometry = self.config.geometry;
+        // Payload assembly (the block-info lookup) is skipped entirely
+        // when tracing is off; `emit` gates again internally.
+        if self.events.is_some() {
+            let info = self.flash.block_info(victim)?;
+            self.emit(now, Event::GcStart { plane, emergency });
+            self.emit(
+                now,
+                Event::GcVictim {
+                    block: victim.index(),
+                    valid: info.valid_pages,
+                    invalid: info.invalid_pages,
+                },
+            );
+        }
         let mut t = now;
         for ppn in geometry.pages_of(victim).collect::<Vec<_>>() {
             match self.flash.page_state(ppn)? {
@@ -775,6 +858,13 @@ impl Ssd {
                     };
                     t = done;
                     self.stats.gc_programs += 1;
+                    self.emit(
+                        done,
+                        Event::GcRelocate {
+                            src: ppn,
+                            dest: new_ppn,
+                        },
+                    );
                     let page = self
                         .rmap
                         .remove(ppn)
@@ -800,6 +890,9 @@ impl Ssd {
                 PageState::Free | PageState::Bad => {}
             }
         }
+        self.stats
+            .phases
+            .add("gc_relocate", t.saturating_since(now));
         let done = match self.flash.erase_block(victim, t) {
             Ok(done) => done,
             Err(FlashOpError::EraseFailed { .. }) => {
@@ -809,15 +902,24 @@ impl Ssd {
                 match self.flash.erase_block(victim, retry_at) {
                     Ok(done) => done,
                     Err(FlashOpError::EraseFailed { .. }) => {
-                        return self.retire_victim(victim);
+                        let done = self.retire_victim(victim)?;
+                        self.stats.phases.add("gc_erase", done.saturating_since(t));
+                        return Ok(done);
                     }
                     Err(e) => return Err(e.into()),
                 }
             }
             Err(e) => return Err(e.into()),
         };
+        self.stats.phases.add("gc_erase", done.saturating_since(t));
         self.allocator.on_block_erased(&geometry, victim);
         self.stats.gc_collections += 1;
+        self.emit(
+            done,
+            Event::GcErase {
+                block: victim.index(),
+            },
+        );
         Ok(done)
     }
 
@@ -1312,6 +1414,87 @@ mod tests {
         let (v2, _) = s.read(Lpn::new(0), done).expect("read");
         assert_eq!(v2, ValueId::new(7));
         assert_eq!(s.stats().scrub_programs, 2);
+    }
+
+    #[test]
+    fn event_trace_matches_counters_and_is_causally_ordered() {
+        let config = SsdConfig::small_test()
+            .without_precondition()
+            .with_system(SystemKind::MqDvp { entries: 64 })
+            .with_faults(zssd_flash::FaultConfig::none())
+            .with_event_tracing(true);
+        let mut s = Ssd::new(config).expect("drive");
+        w(&mut s, 0, 7);
+        w(&mut s, 0, 8); // 7 dies
+        w(&mut s, 1, 7); // revived
+        s.read(Lpn::new(1), SimTime::ZERO).expect("read");
+        for i in 0..400u64 {
+            // churn until GC runs
+            w(&mut s, 2 + (i % 6), 1000 + i);
+        }
+        assert!(!s.events().is_empty(), "live accessor sees the trace");
+        let report = s.into_report();
+        let count = |kind: &str| {
+            report
+                .events
+                .iter()
+                .filter(|e| e.event.kind() == kind)
+                .count() as u64
+        };
+        assert_eq!(count("host_write"), report.host_writes);
+        assert_eq!(count("host_read"), report.host_reads);
+        assert_eq!(count("revive"), report.revived_writes);
+        assert_eq!(count("gc_erase"), report.erases);
+        assert_eq!(count("gc_relocate"), report.gc_programs);
+        assert!(count("gc_start") >= report.gc_collections);
+        assert_eq!(count("gc_victim"), count("gc_start"));
+        assert_eq!(count("fault"), 0, "faults pinned off");
+        for (i, e) in report.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "gapless run-global sequence");
+        }
+        // Phase timers saw the same GC work the events did.
+        assert_eq!(report.phases.get("gc_erase").count, report.erases);
+        assert!(report.phases.get("gc_stall").total > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tracing_disabled_changes_nothing_and_records_nothing() {
+        let run = |trace: bool| {
+            let config = SsdConfig::small_test()
+                .without_precondition()
+                .with_system(SystemKind::MqDvp { entries: 64 })
+                .with_faults(zssd_flash::FaultConfig::none())
+                .with_event_tracing(trace);
+            let mut s = Ssd::new(config).expect("drive");
+            for i in 0..400u64 {
+                w(&mut s, i % 8, 1000 + (i % 13));
+            }
+            s.read(Lpn::new(0), SimTime::ZERO).expect("read");
+            s.into_report()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(off.events.is_empty());
+        assert!(!on.events.is_empty());
+        // Tracing must be observationally free: every counter, digest,
+        // and sample of the two runs is identical.
+        let mut on_stripped = on.clone();
+        on_stripped.events.clear();
+        assert_eq!(off, on_stripped);
+    }
+
+    #[test]
+    fn preconditioning_leaves_no_events_in_the_trace() {
+        let config = SsdConfig::small_test()
+            .with_system(SystemKind::MqDvp { entries: 64 })
+            .with_faults(zssd_flash::FaultConfig::none())
+            .with_event_tracing(true);
+        let mut s = Ssd::new(config).expect("drive");
+        assert!(s.events().is_empty(), "warm-up fill is not traced");
+        w(&mut s, 0, 7);
+        let events = s.events();
+        assert_eq!(events.last().map(|e| e.event.kind()), Some("host_write"));
+        assert_eq!(events[0].seq, 0, "sequencing restarts after warm-up");
     }
 
     #[test]

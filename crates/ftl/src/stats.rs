@@ -5,7 +5,10 @@ use core::fmt;
 use zssd_core::{PoolStats, SystemKind};
 use zssd_dedup::DedupStats;
 use zssd_flash::WearSummary;
-use zssd_metrics::{LatencyRecorder, LatencySummary, Timeline};
+use zssd_metrics::{
+    events_to_json, windows_to_json, CounterRegistry, Json, LatencyRecorder, LatencySummary,
+    PhaseTimers, Timeline, TracedEvent,
+};
 use zssd_types::SimDuration;
 
 /// Mutable counters accumulated while a trace runs.
@@ -41,6 +44,11 @@ pub struct SsdStats {
     pub read_latency: LatencyRecorder,
     /// Per-request latency over simulated time (episode analysis).
     pub timeline: Timeline,
+    /// Simulated time spent per internal phase (GC relocation, erase,
+    /// whole stall, scrubbing). Always accumulated — the additions are
+    /// a handful of integer ops per GC episode, far off the per-request
+    /// hot path.
+    pub phases: PhaseTimers,
 }
 
 impl SsdStats {
@@ -114,6 +122,15 @@ pub struct RunReport {
     /// Combined (read + write) latency digest — the paper's headline
     /// latency numbers cover "across reads and write requests".
     pub all_latency: LatencySummary,
+    /// Simulated time spent per internal phase (GC relocation, erase,
+    /// whole stall, scrubbing).
+    pub phases: PhaseTimers,
+    /// The run's event trace, in deterministic causal order. Empty
+    /// unless the run was configured with
+    /// [`SsdConfig::with_event_tracing`].
+    ///
+    /// [`SsdConfig::with_event_tracing`]: crate::SsdConfig::with_event_tracing
+    pub events: Vec<TracedEvent>,
 }
 
 impl RunReport {
@@ -134,6 +151,110 @@ impl RunReport {
         } else {
             self.host_programs as f64 / self.host_writes as f64
         }
+    }
+
+    /// Flattens every scalar counter of the run — device, pool, and
+    /// dedup — into one deterministic name → value registry.
+    pub fn counters(&self) -> CounterRegistry {
+        let mut reg = CounterRegistry::new();
+        reg.add("host_writes", self.host_writes);
+        reg.add("host_reads", self.host_reads);
+        reg.add("flash_programs", self.flash_programs);
+        reg.add("host_programs", self.host_programs);
+        reg.add("gc_programs", self.gc_programs);
+        reg.add("flash_reads", self.flash_reads);
+        reg.add("erases", self.erases);
+        reg.add("revived_writes", self.revived_writes);
+        reg.add("deduped_writes", self.deduped_writes);
+        reg.add("gc_collections", self.gc_collections);
+        reg.add("trims", self.trims);
+        reg.add("read_mismatches", self.read_mismatches);
+        reg.add("program_failures", self.program_failures);
+        reg.add("erase_failures", self.erase_failures);
+        reg.add("read_retries", self.read_retries);
+        reg.add("retired_blocks", self.retired_blocks);
+        reg.add("scrub_programs", self.scrub_programs);
+        reg.add("pool_hits", self.pool.hits);
+        reg.add("pool_misses", self.pool.misses);
+        reg.add("pool_insertions", self.pool.insertions);
+        reg.add("pool_evictions", self.pool.evictions);
+        reg.add("pool_gc_removals", self.pool.gc_removals);
+        reg.add("pool_promotions", self.pool.promotions);
+        reg.add("pool_demotions", self.pool.demotions);
+        if let Some(dedup) = &self.dedup {
+            reg.add("dedup_hits", dedup.dedup_hits);
+            reg.add("dedup_misses", dedup.misses);
+            reg.add("dedup_registrations", dedup.registrations);
+            reg.add("dedup_deaths", dedup.deaths);
+            reg.add("dedup_index_evictions", dedup.index_evictions);
+        }
+        reg
+    }
+
+    /// Serializes the whole report — counters, latency digests, phase
+    /// timers, wear, the timeline bucketed into `window`-wide
+    /// [`zssd_metrics::WindowStat`]s, and the event trace — as a
+    /// self-describing JSON document (schema `zssd-metrics-v1`,
+    /// DESIGN.md §13). Byte-deterministic for a given report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (see [`Timeline::windows`]).
+    pub fn to_json(&self, window: SimDuration) -> Json {
+        fn latency(summary: &LatencySummary) -> Json {
+            Json::Obj(vec![
+                ("count".into(), Json::U64(summary.count)),
+                ("mean_ns".into(), Json::U64(summary.mean.as_nanos())),
+                ("p50_ns".into(), Json::U64(summary.p50.as_nanos())),
+                ("p99_ns".into(), Json::U64(summary.p99.as_nanos())),
+                ("max_ns".into(), Json::U64(summary.max.as_nanos())),
+            ])
+        }
+        let counters = self
+            .counters()
+            .iter()
+            .map(|(name, value)| (name.to_string(), Json::U64(value)))
+            .collect();
+        let phases = self
+            .phases
+            .iter()
+            .map(|(name, total)| {
+                (
+                    name.to_string(),
+                    Json::Obj(vec![
+                        ("total_ns".into(), Json::U64(total.total.as_nanos())),
+                        ("count".into(), Json::U64(total.count)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("zssd-metrics-v1".into())),
+            ("system".into(), Json::Str(self.system.to_string())),
+            ("counters".into(), Json::Obj(counters)),
+            (
+                "latency".into(),
+                Json::Obj(vec![
+                    ("write".into(), latency(&self.write_latency)),
+                    ("read".into(), latency(&self.read_latency)),
+                    ("all".into(), latency(&self.all_latency)),
+                ]),
+            ),
+            ("phases".into(), Json::Obj(phases)),
+            (
+                "wear".into(),
+                Json::Obj(vec![
+                    ("min_erases".into(), Json::U64(self.wear.min_erases)),
+                    ("max_erases".into(), Json::U64(self.wear.max_erases)),
+                    ("mean_erases".into(), Json::F64(self.wear.mean_erases)),
+                ]),
+            ),
+            (
+                "timeline".into(),
+                windows_to_json(window, &self.timeline.windows(window)),
+            ),
+            ("events".into(), events_to_json(&self.events)),
+        ])
     }
 }
 
@@ -218,6 +339,8 @@ mod tests {
             write_latency: summary(),
             read_latency: summary(),
             all_latency: summary(),
+            phases: PhaseTimers::new(),
+            events: Vec::new(),
         }
     }
 
@@ -243,5 +366,58 @@ mod tests {
         let mut r = report();
         r.host_writes = 0;
         assert_eq!(r.program_fraction(), 0.0);
+    }
+
+    #[test]
+    fn counters_flatten_device_pool_and_dedup() {
+        let mut r = report();
+        r.pool.hits = 7;
+        let reg = r.counters();
+        assert_eq!(reg.get("host_writes"), 100);
+        assert_eq!(reg.get("pool_hits"), 7);
+        assert_eq!(reg.get("dedup_hits"), 0, "no dedup section");
+        r.dedup = Some(zssd_dedup::DedupStats {
+            dedup_hits: 3,
+            ..DedupStats::default()
+        });
+        assert_eq!(r.counters().get("dedup_hits"), 3);
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_parses() {
+        let mut r = report();
+        r.phases.add("gc_erase", SimDuration::from_micros(3800));
+        let window = SimDuration::from_millis(1);
+        let text = r.to_json(window).to_string();
+        assert_eq!(text, r.clone().to_json(window).to_string());
+        let parsed = Json::parse(&text).expect("exporter emits valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("zssd-metrics-v1")
+        );
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("host_writes"))
+                .and_then(Json::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            parsed
+                .get("phases")
+                .and_then(|p| p.get("gc_erase"))
+                .and_then(|p| p.get("total_ns"))
+                .and_then(Json::as_u64),
+            Some(3_800_000)
+        );
+        assert_eq!(
+            parsed
+                .get("latency")
+                .and_then(|l| l.get("all"))
+                .and_then(|l| l.get("p99_ns"))
+                .and_then(Json::as_u64),
+            Some(10_000)
+        );
+        assert!(parsed.get("events").and_then(Json::as_arr).is_some());
     }
 }

@@ -48,14 +48,20 @@ impl Cdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The smallest sample value `v` with `fraction_le(v) ≥ q`.
+    /// The smallest sample value `v` with `fraction_le(v) ≥ q`; zero
+    /// when empty, matching
+    /// [`LatencyRecorder::percentile`](crate::LatencyRecorder::percentile)
+    /// so a zero-read or all-trim workload never crashes report
+    /// generation.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]` or the CDF is empty.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        if self.sorted.is_empty() {
+            return 0;
+        }
         let n = self.sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
         self.sorted[rank - 1]
@@ -149,8 +155,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn quantile_of_empty_panics() {
-        let _ = Cdf::default().quantile(0.5);
+    fn quantile_of_empty_is_zero() {
+        // Regression: used to panic, crashing report generation for
+        // workloads with no samples (e.g. zero reads). The empty case
+        // now mirrors `LatencyRecorder::percentile`'s ZERO convention.
+        let cdf = Cdf::default();
+        assert_eq!(cdf.quantile(0.0), 0);
+        assert_eq!(cdf.quantile(0.5), 0);
+        assert_eq!(cdf.quantile(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range_even_when_empty() {
+        let _ = Cdf::default().quantile(1.5);
     }
 }

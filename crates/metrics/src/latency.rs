@@ -29,6 +29,7 @@ use zssd_types::SimDuration;
 pub struct LatencyRecorder {
     samples: Vec<u64>,
     sum: u128,
+    max: u64,
     sorted: bool,
 }
 
@@ -38,6 +39,7 @@ impl LatencyRecorder {
         LatencyRecorder {
             samples: Vec::new(),
             sum: 0,
+            max: 0,
             sorted: true,
         }
     }
@@ -47,19 +49,22 @@ impl LatencyRecorder {
         LatencyRecorder {
             samples: Vec::with_capacity(capacity),
             sum: 0,
+            max: 0,
             sorted: true,
         }
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimDuration) {
-        self.sum += u128::from(latency.as_nanos());
+        let ns = latency.as_nanos();
+        self.sum += u128::from(ns);
+        self.max = self.max.max(ns);
         if let Some(&last) = self.samples.last() {
-            if latency.as_nanos() < last {
+            if ns < last {
                 self.sorted = false;
             }
         }
-        self.samples.push(latency.as_nanos());
+        self.samples.push(ns);
     }
 
     /// Number of recorded samples.
@@ -102,9 +107,11 @@ impl LatencyRecorder {
         SimDuration::from_nanos(self.samples[rank - 1])
     }
 
-    /// Maximum recorded latency; zero when empty.
+    /// Maximum recorded latency; zero when empty. O(1): the running
+    /// maximum is maintained at [`record`](Self::record) time rather
+    /// than rescanning the sample vector per query.
     pub fn max(&self) -> SimDuration {
-        SimDuration::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+        SimDuration::from_nanos(self.max)
     }
 
     /// Snapshot of the headline statistics (count, mean, p50/p99/max).
@@ -121,6 +128,7 @@ impl LatencyRecorder {
     /// Merges all samples of `other` into `self`.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.sum += other.sum;
+        self.max = self.max.max(other.max);
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
@@ -210,6 +218,27 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), us(2));
+    }
+
+    #[test]
+    fn running_max_tracks_record_and_merge() {
+        // Regression for the O(n)-per-call rescan: `max()` must stay
+        // exact through out-of-order records and merges in both
+        // directions, since it only sees values at insertion time.
+        let mut a = LatencyRecorder::new();
+        for v in [7, 2, 9, 3] {
+            a.record(us(v));
+        }
+        assert_eq!(a.max(), us(9));
+        let mut b = LatencyRecorder::new();
+        b.record(us(4));
+        b.merge(&a);
+        assert_eq!(b.max(), us(9));
+        a.merge(&b);
+        assert_eq!(a.max(), us(9));
+        a.record(us(11));
+        assert_eq!(a.max(), us(11));
+        assert_eq!(a.summary().max, us(11));
     }
 
     #[test]

@@ -14,6 +14,18 @@
 //! * [`ShareCurve`] — Lorenz-style "top x% of values account for y% of
 //!   events" curves (Fig 3-style, values sorted by popularity).
 //!
+//! On top of those sits the run-wide observability layer (DESIGN.md
+//! §13):
+//!
+//! * [`Event`] / [`EventSink`] / [`EventLog`] — typed, timestamped,
+//!   zero-cost-when-disabled event tracing through the simulator's hot
+//!   paths,
+//! * [`CounterRegistry`] / [`PhaseTimers`] — deterministic name → value
+//!   counter maps and per-phase simulated-time accumulators,
+//! * [`Json`] plus the `*_to_json` / `*_to_csv` exporters — dependency
+//!   free, byte-deterministic export of reports, windowed time series,
+//!   and event streams.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,14 +45,23 @@
 
 mod cdf;
 mod counter;
+mod events;
+mod export;
 mod histogram;
 mod latency;
+mod registry;
 mod share;
 mod timeline;
 
 pub use cdf::Cdf;
 pub use counter::{reduction_pct, Counter};
+pub use events::{Event, EventLog, EventSink, FaultEvent, NullSink, TracedEvent};
+pub use export::{
+    events_to_csv, events_to_json, windows_from_json, windows_to_csv, windows_to_json, Json,
+    JsonParseError,
+};
 pub use histogram::Histogram;
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use registry::{CounterRegistry, PhaseTimers, PhaseTotal};
 pub use share::{ShareCurve, SharePoint};
 pub use timeline::{Timeline, WindowStat};

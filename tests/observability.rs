@@ -1,0 +1,100 @@
+//! Integration tests for the observability layer (DESIGN.md §13):
+//! the exports must be deterministic — bit-identical for the same seed
+//! regardless of `ZSSD_THREADS` — and the event stream must agree with
+//! the run's counters.
+
+use zssd_bench::{
+    config_for, grid_for, grid_metrics_json, run_grid_with_threads, trace_for, METRICS_WINDOW,
+};
+use zssd_core::SystemKind;
+use zssd_ftl::Ssd;
+use zssd_metrics::{events_to_csv, events_to_json, windows_from_json, windows_to_json, Json};
+use zssd_trace::WorkloadProfile;
+
+fn tiny_profiles() -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile::paper_set().remove(0).scaled(0.002),
+        WorkloadProfile::mail().scaled(0.002),
+    ]
+}
+
+#[test]
+fn grid_export_is_bit_identical_across_thread_counts() {
+    let systems = [SystemKind::Baseline, SystemKind::MqDvp { entries: 64 }];
+    let mut cells = grid_for(&tiny_profiles(), &systems);
+    for cell in &mut cells {
+        cell.config.trace_events = true;
+    }
+    let serial = run_grid_with_threads(cells.clone(), 1).expect("serial grid");
+    let parallel = run_grid_with_threads(cells.clone(), 4).expect("parallel grid");
+    let serial_json = grid_metrics_json(&cells, &serial);
+    let parallel_json = grid_metrics_json(&cells, &parallel);
+    assert_eq!(
+        serial_json, parallel_json,
+        "metrics export must be byte-identical for any ZSSD_THREADS"
+    );
+    // Event streams — the most order-sensitive part of a report — are
+    // identical cell by cell, too.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert!(!s.events.is_empty(), "traced cells record events");
+        assert_eq!(events_to_csv(&s.events), events_to_csv(&p.events));
+    }
+}
+
+#[test]
+fn gc_episode_series_round_trips_through_the_json_exporter() {
+    let profile = WorkloadProfile::mail().scaled(0.002);
+    let trace = trace_for(&profile);
+    let report = Ssd::new(config_for(&profile, SystemKind::Baseline))
+        .expect("drive")
+        .run_trace(trace.records())
+        .expect("run");
+    let windows = report.timeline.windows(METRICS_WINDOW);
+    assert!(!windows.is_empty(), "the run spans at least one window");
+    let text = windows_to_json(METRICS_WINDOW, &windows).to_string();
+    let parsed = Json::parse(&text).expect("exporter emits valid JSON");
+    let (window, recovered) = windows_from_json(&parsed).expect("well-formed series");
+    assert_eq!(window, METRICS_WINDOW);
+    assert_eq!(recovered, windows, "lossless series round-trip");
+}
+
+#[test]
+fn event_stream_agrees_with_the_run_counters() {
+    let profile = WorkloadProfile::mail().scaled(0.002);
+    let trace = trace_for(&profile);
+    let run = || {
+        Ssd::new(config_for(&profile, SystemKind::MqDvp { entries: 64 }).with_event_tracing(true))
+            .expect("drive")
+            .run_trace(trace.records())
+            .expect("run")
+    };
+    let report = run();
+    let count = |kind: &str| {
+        report
+            .events
+            .iter()
+            .filter(|e| e.event.kind() == kind)
+            .count() as u64
+    };
+    assert_eq!(count("host_write"), report.host_writes);
+    assert_eq!(count("host_read"), report.host_reads);
+    assert_eq!(count("revive"), report.revived_writes);
+    assert!(report.revived_writes > 0, "mail revives zombie pages");
+    assert_eq!(count("gc_erase"), report.erases);
+    assert_eq!(count("gc_relocate"), report.gc_programs);
+    // Timestamps never precede the run start and seqs are gapless.
+    for (i, e) in report.events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64);
+    }
+    // The same seed reproduces the stream bit for bit.
+    let again = run();
+    assert_eq!(
+        events_to_json(&report.events).to_string(),
+        events_to_json(&again.events).to_string()
+    );
+    // And the full report export is reproducible too.
+    assert_eq!(
+        report.to_json(METRICS_WINDOW).to_string(),
+        again.to_json(METRICS_WINDOW).to_string()
+    );
+}
